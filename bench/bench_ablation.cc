@@ -1,0 +1,142 @@
+// Ablation study of the design choices DESIGN.md calls out (not a paper
+// figure, but the paper motivates each knob in Sections 4.2-4.5):
+//
+//   * drill on/off           (Section 4.3 short-circuit)
+//   * Lemma-1 on/off         (Section 4.2 competitor pruning)
+//   * wave cap               (small local arrangements vs one big wave)
+//   * filtering strength     (r-skyband vs k-skyband vs onion candidates)
+#include "bench_common.h"
+#include "skyline/onion.h"
+#include "skyline/rskyband.h"
+#include "skyline/skyband.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+// Anticorrelated data stresses the knobs hardest (flat r-dominance graph),
+// but the unbounded-wave variant is exponential there, so this bench runs a
+// deliberately small instance; scale with UTK_BENCH_SCALE to taste.
+// A large region (sigma 15%) over anticorrelated data is the regime where
+// the knobs matter most: the r-dominance graph is nearly flat, so an
+// unbounded first wave inserts every competitor at once.
+constexpr int kDim = 4;
+constexpr int kK = 5;
+constexpr double kSigma = 0.15;
+
+const Dataset& Data() {
+  return Corpus::Synthetic(Distribution::kAnticorrelated, ScaledN(800), kDim);
+}
+
+void RsaVariant(benchmark::State& state, Rsa::Options opt) {
+  const Dataset& data = Data();
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, kSigma);
+  for (auto _ : state) {
+    double ms = 0, out = 0, lp = 0;
+    for (const ConvexRegion& region : queries) {
+      Utk1Result r = Rsa(opt).Run(data, tree, region, kK);
+      ms += r.stats.elapsed_ms;
+      out += static_cast<double>(r.ids.size());
+      lp += static_cast<double>(r.stats.lp_calls);
+    }
+    state.counters["ms_per_query"] = ms / queries.size();
+    state.counters["out_size"] = out / queries.size();
+    state.counters["lp_calls"] = lp / queries.size();
+  }
+}
+
+void Ablation_RSA_Full(benchmark::State& s) { RsaVariant(s, {}); }
+void Ablation_RSA_NoDrill(benchmark::State& s) {
+  Rsa::Options o;
+  o.use_drill = false;
+  RsaVariant(s, o);
+}
+void Ablation_RSA_NoLemma1(benchmark::State& s) {
+  Rsa::Options o;
+  o.use_lemma1 = false;
+  RsaVariant(s, o);
+}
+void Ablation_RSA_NoWaveCap(benchmark::State& s) {
+  Rsa::Options o;
+  o.wave_cap = 0;
+  RsaVariant(s, o);
+}
+void Ablation_RSA_Wave4(benchmark::State& s) {
+  Rsa::Options o;
+  o.wave_cap = 4;
+  RsaVariant(s, o);
+}
+void Ablation_RSA_Wave16(benchmark::State& s) {
+  Rsa::Options o;
+  o.wave_cap = 16;
+  RsaVariant(s, o);
+}
+
+BENCHMARK(Ablation_RSA_Full)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(Ablation_RSA_NoDrill)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(Ablation_RSA_NoLemma1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Ablation_RSA_NoWaveCap)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Ablation_RSA_Wave4)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(Ablation_RSA_Wave16)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Filtering-step tightness: candidates surviving each filter for the same
+// configuration (smaller = less refinement work downstream).
+void Ablation_Filters(benchmark::State& state) {
+  const Dataset& data = Data();
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, kSigma);
+  for (auto _ : state) {
+    QueryStats tmp;
+    double rband = 0;
+    for (const ConvexRegion& region : queries)
+      rband += static_cast<double>(
+          ComputeRSkyband(data, tree, region, kK).ids.size());
+    state.counters["r_skyband"] = rband / queries.size();
+    state.counters["k_skyband"] =
+        static_cast<double>(KSkyband(data, tree, kK).size());
+    state.counters["onion"] =
+        static_cast<double>(OnionCandidates(data, tree, kK, &tmp).size());
+  }
+}
+BENCHMARK(Ablation_Filters)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// JAA wave-cap sensitivity.
+void JaaVariant(benchmark::State& state, Jaa::Options opt) {
+  const Dataset& data = Data();
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, 0.02);
+  for (auto _ : state) {
+    double ms = 0, sets = 0;
+    for (const ConvexRegion& region : queries) {
+      Utk2Result r = Jaa(opt).Run(data, tree, region, kK);
+      ms += r.stats.elapsed_ms;
+      sets += static_cast<double>(r.NumDistinctTopkSets());
+    }
+    state.counters["ms_per_query"] = ms / queries.size();
+    state.counters["topk_sets"] = sets / queries.size();
+  }
+}
+void Ablation_JAA_Full(benchmark::State& s) { JaaVariant(s, {}); }
+void Ablation_JAA_NoLemma1(benchmark::State& s) {
+  Jaa::Options o;
+  o.use_lemma1 = false;
+  JaaVariant(s, o);
+}
+void Ablation_JAA_Wave4(benchmark::State& s) {
+  Jaa::Options o;
+  o.wave_cap = 4;
+  JaaVariant(s, o);
+}
+BENCHMARK(Ablation_JAA_Full)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(Ablation_JAA_NoLemma1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Ablation_JAA_Wave4)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Microbenchmark of the arrangement index (Section 4.5): cell growth, LP
+// cost, and the effect of the freeze threshold as half-spaces are inserted.
+// Not a paper figure; substantiates the §4.5 implementation discussion.
+#include "bench_common.h"
+
+#include "arrangement/arrangement.h"
+#include "geometry/linear.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+std::vector<Halfspace> RandomHalfspaces(int count, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Halfspace> hs;
+  hs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Halfspace h;
+    h.a.resize(dim);
+    for (int d = 0; d < dim; ++d) h.a[d] = rng.Uniform(-1.0, 1.0);
+    h.b = rng.Uniform(-0.05, 0.25);
+    hs.push_back(std::move(h));
+  }
+  return hs;
+}
+
+void InsertionScaling(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int dim = 3;
+  auto hs = RandomHalfspaces(count, dim, 99);
+  ConvexRegion base = ConvexRegion::FromBox(Vec(dim, 0.05), Vec(dim, 0.30));
+  for (auto _ : state) {
+    QueryStats stats;
+    CellArrangement arr(base, &stats);
+    for (int i = 0; i < count; ++i) arr.Insert(i, hs[i]);
+    state.counters["cells"] = static_cast<double>(arr.cells().size());
+    state.counters["lp_calls"] = static_cast<double>(stats.lp_calls);
+    state.counters["mem_KB"] = arr.MemoryBytes() / 1024.0;
+  }
+}
+BENCHMARK(InsertionScaling)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void FreezeThresholdEffect(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  const int dim = 3;
+  auto hs = RandomHalfspaces(24, dim, 100);
+  ConvexRegion base = ConvexRegion::FromBox(Vec(dim, 0.05), Vec(dim, 0.30));
+  for (auto _ : state) {
+    QueryStats stats;
+    CellArrangement arr(base, &stats);
+    arr.set_freeze_threshold(threshold);
+    for (int i = 0; i < 24; ++i) arr.Insert(i, hs[i]);
+    state.counters["cells"] = static_cast<double>(arr.cells().size());
+    state.counters["lp_calls"] = static_cast<double>(stats.lp_calls);
+  }
+}
+BENCHMARK(FreezeThresholdEffect)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PointLocation(benchmark::State& state) {
+  const int dim = 3;
+  auto hs = RandomHalfspaces(16, dim, 101);
+  ConvexRegion base = ConvexRegion::FromBox(Vec(dim, 0.05), Vec(dim, 0.30));
+  CellArrangement arr(base);
+  for (int i = 0; i < 16; ++i) arr.Insert(i, hs[i]);
+  Rng rng(5);
+  int64_t located = 0;
+  for (auto _ : state) {
+    Vec w(dim);
+    for (int d = 0; d < dim; ++d) w[d] = rng.Uniform(0.05, 0.30);
+    benchmark::DoNotOptimize(arr.Locate(w));
+    ++located;
+  }
+  state.counters["cells"] = static_cast<double>(arr.cells().size());
+}
+BENCHMARK(PointLocation);
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// Shared harness for the per-figure benchmarks (Section 7 reproduction).
+//
+// Scale policy: the paper runs on datasets up to 1.6M records with 50 random
+// queries per configuration; each bench here defaults to laptop-scale
+// parameters (documented in EXPERIMENTS.md) and honours two environment
+// variables so paper-scale runs remain one command away:
+//   UTK_BENCH_SCALE    multiplies every dataset cardinality (default 1)
+//   UTK_BENCH_QUERIES  number of random query regions per point (default 3)
+// Every dataset / index is memoized across benchmark registrations.
+#ifndef UTK_BENCH_BENCH_COMMON_H_
+#define UTK_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/baseline.h"
+#include "core/jaa.h"
+#include "core/rsa.h"
+#include "data/generator.h"
+#include "data/realistic.h"
+#include "data/workload.h"
+#include "index/rtree.h"
+
+namespace utk {
+namespace bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline int ScaledN(int base) { return base * EnvInt("UTK_BENCH_SCALE", 1); }
+inline int NumQueries() { return EnvInt("UTK_BENCH_QUERIES", 3); }
+
+/// Memoized dataset + R-tree pairs.
+class Corpus {
+ public:
+  static const Dataset& Synthetic(Distribution dist, int n, int dim) {
+    static std::map<std::tuple<int, int, int>, std::unique_ptr<Dataset>> cache;
+    auto key = std::make_tuple(static_cast<int>(dist), n, dim);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, std::make_unique<Dataset>(
+                                  Generate(dist, n, dim, 4242))).first;
+    }
+    return *it->second;
+  }
+
+  /// kind: 0 = HOTEL-like (4D), 1 = HOUSE-like (6D), 2 = NBA-like (8D).
+  static const Dataset& Realistic(int kind, int n) {
+    static std::map<std::pair<int, int>, std::unique_ptr<Dataset>> cache;
+    auto key = std::make_pair(kind, n);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      Dataset d = kind == 0   ? GenerateHotelLike(n, 4242)
+                  : kind == 1 ? GenerateHouseLike(n, 4242)
+                              : GenerateNbaLike(n, 4242);
+      it = cache.emplace(key, std::make_unique<Dataset>(std::move(d))).first;
+    }
+    return *it->second;
+  }
+
+  static const RTree& Tree(const Dataset& data) {
+    static std::map<const Dataset*, std::unique_ptr<RTree>> cache;
+    auto it = cache.find(&data);
+    if (it == cache.end()) {
+      it = cache.emplace(&data,
+                         std::make_unique<RTree>(RTree::BulkLoad(data)))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+constexpr const char* kRealisticNames[] = {"HOTEL", "HOUSE", "NBA"};
+
+/// Aggregates over a batch of random queries.
+struct BatchResult {
+  double total_ms = 0.0;
+  double output_size = 0.0;     ///< UTK1 records or UTK2 top-k sets (avg)
+  double candidates = 0.0;      ///< filter output size (avg)
+  double peak_bytes = 0.0;      ///< max over queries
+  int queries = 0;
+
+  void Counters(benchmark::State& state) const {
+    state.counters["ms_per_query"] = total_ms / queries;
+    state.counters["out_size"] = output_size / queries;
+    state.counters["candidates"] = candidates / queries;
+    state.counters["peak_MB"] = peak_bytes / (1024.0 * 1024.0);
+  }
+};
+
+enum class Algo { kRsa, kJaa, kBaselineSk1, kBaselineOn1, kBaselineSk2,
+                  kBaselineOn2 };
+
+inline const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kRsa: return "RSA";
+    case Algo::kJaa: return "JAA";
+    case Algo::kBaselineSk1: return "SK";
+    case Algo::kBaselineOn1: return "ON";
+    case Algo::kBaselineSk2: return "SK2";
+    case Algo::kBaselineOn2: return "ON2";
+  }
+  return "?";
+}
+
+/// Runs `algo` over `queries` regions and aggregates.
+inline BatchResult RunBatch(Algo algo, const Dataset& data, const RTree& tree,
+                            const std::vector<ConvexRegion>& queries, int k) {
+  BatchResult out;
+  for (const ConvexRegion& region : queries) {
+    QueryStats stats;
+    double output = 0.0;
+    switch (algo) {
+      case Algo::kRsa: {
+        Utk1Result r = Rsa().Run(data, tree, region, k);
+        stats = r.stats;
+        output = static_cast<double>(r.ids.size());
+        break;
+      }
+      case Algo::kJaa: {
+        Utk2Result r = Jaa().Run(data, tree, region, k);
+        stats = r.stats;
+        output = static_cast<double>(r.NumDistinctTopkSets());
+        break;
+      }
+      case Algo::kBaselineSk1:
+      case Algo::kBaselineOn1: {
+        Baseline b(algo == Algo::kBaselineSk1 ? BaselineFilter::kSkyband
+                                              : BaselineFilter::kOnion);
+        Utk1Result r = b.RunUtk1(data, tree, region, k);
+        stats = r.stats;
+        output = static_cast<double>(r.ids.size());
+        break;
+      }
+      case Algo::kBaselineSk2:
+      case Algo::kBaselineOn2: {
+        Baseline b(algo == Algo::kBaselineSk2 ? BaselineFilter::kSkyband
+                                              : BaselineFilter::kOnion);
+        BaselineUtk2Result r = b.RunUtk2(data, tree, region, k);
+        stats = r.stats;
+        output = static_cast<double>(r.TotalCells());
+        break;
+      }
+    }
+    out.total_ms += stats.elapsed_ms;
+    out.output_size += output;
+    out.candidates += static_cast<double>(stats.candidates);
+    out.peak_bytes = std::max(out.peak_bytes,
+                              static_cast<double>(stats.peak_bytes));
+    ++out.queries;
+  }
+  return out;
+}
+
+/// Standard query batch for a configuration (deterministic by seed).
+inline std::vector<ConvexRegion> Queries(int pref_dim, double sigma) {
+  return QueryBatch(pref_dim, sigma, NumQueries(), 777);
+}
+
+}  // namespace bench
+}  // namespace utk
+
+#endif  // UTK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Figure 9 — NBA case studies.
+//
+// 9(a): d=2 (rebounds, points), k=3, R=[0.64,0.74]: UTK1 record count vs the
+//       3 onion layers and the 3-skyband (paper: 4 vs 11 vs 13 players).
+// 9(b): d=3 (+assists), k=3, R=[0.2,0.3]x[0.5,0.6]: the UTK2 partitioning.
+//
+// Substitution: NBA-like synthetic league (see DESIGN.md §5); the counts
+// track the paper's ratios, not its exact player names.
+#include "bench_common.h"
+#include "skyline/onion.h"
+#include "skyline/skyband.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+Dataset Project(const Dataset& full, std::vector<int> cols) {
+  Dataset out;
+  out.reserve(full.size());
+  for (const Record& r : full) {
+    Record p;
+    p.id = r.id;
+    for (int c : cols) p.attrs.push_back(r.attrs[c]);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void Fig09a(benchmark::State& state) {
+  const Dataset& league = Corpus::Realistic(2, ScaledN(500));
+  Dataset d2 = Project(league, {1, 0});  // rebounds, points
+  RTree tree = RTree::BulkLoad(d2);
+  ConvexRegion region = ConvexRegion::FromBox({0.64}, {0.74});
+  const int k = 3;
+  for (auto _ : state) {
+    Utk1Result utk1 = Rsa().Run(d2, tree, region, k);
+    QueryStats tmp;
+    auto onion = OnionCandidates(d2, tree, k, &tmp);
+    auto sky = KSkyband(d2, tree, k);
+    state.counters["utk1"] = static_cast<double>(utk1.ids.size());
+    state.counters["onion"] = static_cast<double>(onion.size());
+    state.counters["skyband"] = static_cast<double>(sky.size());
+  }
+}
+BENCHMARK(Fig09a)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void Fig09b(benchmark::State& state) {
+  const Dataset& league = Corpus::Realistic(2, ScaledN(500));
+  Dataset d3 = Project(league, {1, 0, 2});  // rebounds, points, assists
+  RTree tree = RTree::BulkLoad(d3);
+  ConvexRegion region = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
+  const int k = 3;
+  for (auto _ : state) {
+    Utk2Result utk2 = Jaa().Run(d3, tree, region, k);
+    state.counters["cells"] = static_cast<double>(utk2.cells.size());
+    state.counters["topk_sets"] =
+        static_cast<double>(utk2.NumDistinctTopkSets());
+    state.counters["players"] = static_cast<double>(utk2.AllRecords().size());
+  }
+}
+BENCHMARK(Fig09b)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

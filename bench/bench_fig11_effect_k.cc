@@ -1,0 +1,54 @@
+// Figure 11 — effect of k on IND data: our algorithms vs the baselines.
+//
+// 11(a): UTK1 response time, RSA vs SK vs ON.
+// 11(b): UTK2 response time, JAA vs SK vs ON (full kSPR, no early exit).
+// Paper finding: RSA/JAA win by 1-2 orders of magnitude, growing with k.
+//
+// Scale note: baselines run one kSPR arrangement per candidate, so the bench
+// uses a smaller cardinality than the other figures to keep them runnable;
+// the time *ratio* is the reproduction target.
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr double kSigma = 0.05;
+constexpr int kDim = 4;
+
+void EffectK(benchmark::State& state, Algo algo) {
+  const int k = static_cast<int>(state.range(0));
+  const Dataset& data =
+      Corpus::Synthetic(Distribution::kIndependent, ScaledN(1000), kDim);
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, kSigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(algo, data, tree, queries, k);
+    r.Counters(state);
+    state.counters["k"] = k;
+  }
+}
+
+void Fig11a_RSA(benchmark::State& s) { EffectK(s, Algo::kRsa); }
+void Fig11a_SK(benchmark::State& s) { EffectK(s, Algo::kBaselineSk1); }
+void Fig11a_ON(benchmark::State& s) { EffectK(s, Algo::kBaselineOn1); }
+void Fig11b_JAA(benchmark::State& s) { EffectK(s, Algo::kJaa); }
+void Fig11b_SK(benchmark::State& s) { EffectK(s, Algo::kBaselineSk2); }
+void Fig11b_ON(benchmark::State& s) { EffectK(s, Algo::kBaselineOn2); }
+
+#define UTK_FIG11(fn) \
+  BENCHMARK(fn)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond) \
+      ->Iterations(1)
+UTK_FIG11(Fig11a_RSA);
+UTK_FIG11(Fig11a_SK);
+UTK_FIG11(Fig11a_ON);
+UTK_FIG11(Fig11b_JAA);
+UTK_FIG11(Fig11b_SK);
+UTK_FIG11(Fig11b_ON);
+#undef UTK_FIG11
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 12 — effect of dataset cardinality n and distribution.
+//
+// 12(a): RSA response time across n for COR / IND / ANTI.
+// 12(b): UTK1 result size across the same grid.
+// 12(c): JAA response time.
+// 12(d): number of distinct top-k sets (UTK2 output size).
+// Paper findings: COR smallest / ANTI largest outputs; time grows
+// sub-linearly with n (skyband cardinality is sub-linear in n).
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr int kDim = 4;
+constexpr int kK = 10;
+constexpr double kSigma = 0.05;
+
+void EffectN(benchmark::State& state, Algo algo, Distribution dist) {
+  const int n = ScaledN(static_cast<int>(state.range(0)));
+  const Dataset& data = Corpus::Synthetic(dist, n, kDim);
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, kSigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    r.Counters(state);
+    state.counters["n"] = n;
+  }
+}
+
+void Fig12_RSA_COR(benchmark::State& s) {
+  EffectN(s, Algo::kRsa, Distribution::kCorrelated);
+}
+void Fig12_RSA_IND(benchmark::State& s) {
+  EffectN(s, Algo::kRsa, Distribution::kIndependent);
+}
+void Fig12_RSA_ANTI(benchmark::State& s) {
+  EffectN(s, Algo::kRsa, Distribution::kAnticorrelated);
+}
+void Fig12_JAA_COR(benchmark::State& s) {
+  EffectN(s, Algo::kJaa, Distribution::kCorrelated);
+}
+void Fig12_JAA_IND(benchmark::State& s) {
+  EffectN(s, Algo::kJaa, Distribution::kIndependent);
+}
+void Fig12_JAA_ANTI(benchmark::State& s) {
+  EffectN(s, Algo::kJaa, Distribution::kAnticorrelated);
+}
+
+#define UTK_FIG12(fn) \
+  BENCHMARK(fn)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)->Arg(16000) \
+      ->Unit(benchmark::kMillisecond)->Iterations(1)
+UTK_FIG12(Fig12_RSA_COR);
+UTK_FIG12(Fig12_RSA_IND);
+UTK_FIG12(Fig12_RSA_ANTI);
+UTK_FIG12(Fig12_JAA_COR);
+UTK_FIG12(Fig12_JAA_IND);
+UTK_FIG12(Fig12_JAA_ANTI);
+#undef UTK_FIG12
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

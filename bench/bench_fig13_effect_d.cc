@@ -1,0 +1,44 @@
+// Figure 13 — effect of data dimensionality d (IND).
+//
+// 13(a): RSA and JAA response time for d = 2..7.
+// 13(b): peak arrangement-memory estimate (the paper reports a few MB and
+//        credits the small disposable per-recursion indices of Section 4.5).
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr int kK = 5;
+constexpr double kSigma = 0.04;
+
+void EffectD(benchmark::State& state, Algo algo) {
+  const int d = static_cast<int>(state.range(0));
+  const Dataset& data =
+      Corpus::Synthetic(Distribution::kIndependent, ScaledN(1000), d);
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(d - 1, kSigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    r.Counters(state);
+    state.counters["d"] = d;
+  }
+}
+
+void Fig13_RSA(benchmark::State& s) { EffectD(s, Algo::kRsa); }
+void Fig13_JAA(benchmark::State& s) { EffectD(s, Algo::kJaa); }
+
+BENCHMARK(Fig13_RSA)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Fig13_JAA)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Figure 14 — effect of the region side-length sigma (IND).
+//
+// 14(a): RSA and JAA response time across sigma.
+// 14(b): result size (UTK1 records / UTK2 distinct top-k sets).
+// Paper finding: larger R -> larger output -> more computation.
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr int kDim = 4;
+constexpr int kK = 10;
+
+// sigma indices map to the paper's tested values.
+constexpr double kSigmas[] = {0.001, 0.005, 0.01, 0.05, 0.10};
+
+void EffectSigma(benchmark::State& state, Algo algo) {
+  const double sigma = kSigmas[state.range(0)];
+  const Dataset& data =
+      Corpus::Synthetic(Distribution::kIndependent, ScaledN(4000), kDim);
+  const RTree& tree = Corpus::Tree(data);
+  auto queries = Queries(kDim - 1, sigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    r.Counters(state);
+    state.counters["sigma_pct"] = sigma * 100.0;
+  }
+}
+
+void Fig14_RSA(benchmark::State& s) { EffectSigma(s, Algo::kRsa); }
+void Fig14_JAA(benchmark::State& s) { EffectSigma(s, Algo::kJaa); }
+
+BENCHMARK(Fig14_RSA)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Fig14_JAA)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Figure 15 — effect of k on the realistic datasets (JAA).
+//
+// 15(a): JAA response time across k on HOTEL / HOUSE / NBA stand-ins.
+// 15(b): number of distinct top-k sets.
+// Paper findings: trends mirror the synthetic data; HOUSE is slower than
+// HOTEL at similar cardinality (6D vs 4D), NBA slower still (8D).
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr double kSigma = 0.05;
+
+// Cardinalities scaled from the paper's 418K / 315K / 22K in rough ratio.
+constexpr int kBaseN[] = {4000, 3000, 1500};
+
+void RealK(benchmark::State& state, int kind) {
+  const int k = static_cast<int>(state.range(0));
+  const Dataset& data = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
+  const RTree& tree = Corpus::Tree(data);
+  const int pref_dim = DataDim(data) - 1;
+  auto queries = Queries(pref_dim, kSigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(Algo::kJaa, data, tree, queries, k);
+    r.Counters(state);
+    state.counters["k"] = k;
+  }
+  state.SetLabel(kRealisticNames[kind]);
+}
+
+void Fig15_HOTEL(benchmark::State& s) { RealK(s, 0); }
+void Fig15_HOUSE(benchmark::State& s) { RealK(s, 1); }
+void Fig15_NBA(benchmark::State& s) { RealK(s, 2); }
+
+#define UTK_FIG15(fn) \
+  BENCHMARK(fn)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond) \
+      ->Iterations(1)
+UTK_FIG15(Fig15_HOTEL);
+UTK_FIG15(Fig15_HOUSE);
+UTK_FIG15(Fig15_NBA);
+#undef UTK_FIG15
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

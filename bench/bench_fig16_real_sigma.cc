@@ -1,0 +1,44 @@
+// Figure 16 — effect of sigma on the realistic datasets (JAA).
+//
+// 16(a): JAA response time across sigma on HOTEL / HOUSE / NBA stand-ins.
+// 16(b): number of distinct top-k sets.
+#include "bench_common.h"
+
+namespace utk {
+namespace bench {
+namespace {
+
+constexpr int kK = 5;
+constexpr double kSigmas[] = {0.001, 0.005, 0.01, 0.05};
+constexpr int kBaseN[] = {4000, 3000, 1500};
+
+void RealSigma(benchmark::State& state, int kind) {
+  const double sigma = kSigmas[state.range(0)];
+  const Dataset& data = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
+  const RTree& tree = Corpus::Tree(data);
+  const int pref_dim = DataDim(data) - 1;
+  auto queries = Queries(pref_dim, sigma);
+  for (auto _ : state) {
+    BatchResult r = RunBatch(Algo::kJaa, data, tree, queries, kK);
+    r.Counters(state);
+    state.counters["sigma_pct"] = sigma * 100.0;
+  }
+  state.SetLabel(kRealisticNames[kind]);
+}
+
+void Fig16_HOTEL(benchmark::State& s) { RealSigma(s, 0); }
+void Fig16_HOUSE(benchmark::State& s) { RealSigma(s, 1); }
+void Fig16_NBA(benchmark::State& s) { RealSigma(s, 2); }
+
+#define UTK_FIG16(fn) \
+  BENCHMARK(fn)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)->Iterations(1)
+UTK_FIG16(Fig16_HOTEL);
+UTK_FIG16(Fig16_HOUSE);
+UTK_FIG16(Fig16_NBA);
+#undef UTK_FIG16
+
+}  // namespace
+}  // namespace bench
+}  // namespace utk
+
+BENCHMARK_MAIN();

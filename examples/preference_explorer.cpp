@@ -1,0 +1,76 @@
+// Preference explorer: "what would I be recommended if my weights are only
+// roughly right?" — the paper's motivating scenario (Section 1).
+//
+// Takes an estimated weight vector for hotel attributes, expands it into a
+// region of the given half-width (the "leeway" the paper argues for), and
+// contrasts:
+//   * the plain top-k under the estimated weights,
+//   * the UTK1 set under the expanded region, and
+//   * how the top-k set changes across the region (UTK2 cells),
+// demonstrating how fragile an exact-weight top-k recommendation is.
+//
+// Run:  ./example_preference_explorer [n] [k] [w1] [w2] [w3] [leeway]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/jaa.h"
+#include "core/rsa.h"
+#include "core/topk.h"
+#include "data/realistic.h"
+#include "index/rtree.h"
+
+int main(int argc, char** argv) {
+  using namespace utk;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 5;
+  Scalar w1 = argc > 3 ? std::atof(argv[3]) : 0.3;
+  Scalar w2 = argc > 4 ? std::atof(argv[4]) : 0.5;
+  Scalar w3 = argc > 5 ? std::atof(argv[5]) : 0.2;
+  const Scalar leeway = argc > 6 ? std::atof(argv[6]) : 0.05;
+
+  // Normalize the estimated weights, then drop the last one (Section 3.1).
+  const Scalar sum = w1 + w2 + w3;
+  w1 /= sum;
+  w2 /= sum;
+  std::printf(
+      "Estimated weights: w=(%.3f, %.3f, %.3f), leeway ±%.3f, k=%d, n=%d\n",
+      w1, w2, 1.0 - w1 - w2, leeway, k, n);
+
+  Dataset hotels = GenerateHotelLike(n, 7);
+  // Project to 3 attributes (Service, Cleanliness, Location) to match the
+  // story; the 4th (Value) is ignored here.
+  for (Record& r : hotels) r.attrs.resize(3);
+  RTree tree = RTree::BulkLoad(hotels);
+
+  const Vec w = {w1, w2};
+  std::vector<int32_t> exact = TopK(hotels, w, k);
+  std::printf("\nPlain top-%d at the estimated weights:\n", k);
+  for (int32_t id : exact)
+    std::printf("  hotel#%d  (%.2f, %.2f, %.2f)\n", id, hotels[id].attrs[0],
+                hotels[id].attrs[1], hotels[id].attrs[2]);
+
+  ConvexRegion region = ConvexRegion::FromBox(
+      {std::max(0.0, w1 - leeway), std::max(0.0, w2 - leeway)},
+      {std::min(1.0, w1 + leeway), std::min(1.0, w2 + leeway)});
+
+  Utk1Result utk1 = Rsa().Run(hotels, tree, region, k);
+  std::printf("\nUTK1 with leeway (%zu hotels may enter the top-%d):\n",
+              utk1.ids.size(), k);
+  std::set<int32_t> exact_set(exact.begin(), exact.end());
+  for (int32_t id : utk1.ids) {
+    std::printf("  hotel#%d%s\n", id,
+                exact_set.count(id) ? "" : "   <-- hidden by exact weights");
+  }
+
+  Utk2Result utk2 = Jaa().Run(hotels, tree, region, k);
+  std::printf("\nUTK2: %zu preference pockets, %lld distinct top-%d sets\n",
+              utk2.cells.size(),
+              static_cast<long long>(utk2.NumDistinctTopkSets()), k);
+  std::printf("Sensitivity: a ±%.0f%% weight error spans %lld different "
+              "recommendation lists.\n",
+              leeway * 100,
+              static_cast<long long>(utk2.NumDistinctTopkSets()));
+  return 0;
+}

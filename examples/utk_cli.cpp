@@ -1,0 +1,215 @@
+// utk_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate  --dist IND|COR|ANTI|HOTEL|HOUSE|NBA --n N --dim D --seed S
+//             --out FILE.csv
+//   utk1      --data FILE.csv --k K --box lo1,hi1,lo2,hi2,...   (pref domain)
+//   utk2      --data FILE.csv --k K --box ...
+//   topk      --data FILE.csv --k K --weights w1,w2,...         (full domain)
+//   immutable --data FILE.csv --k K --weights w1,w2,...
+//
+// Examples:
+//   utk_cli generate --dist ANTI --n 10000 --dim 4 --out anti.csv
+//   utk_cli utk1 --data anti.csv --k 10 --box 0.1,0.2,0.1,0.2,0.1,0.2
+//   utk_cli topk --data anti.csv --k 5 --weights 0.3,0.3,0.2,0.2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/extensions.h"
+#include "core/jaa.h"
+#include "core/rsa.h"
+#include "core/topk.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/realistic.h"
+#include "index/rtree.h"
+
+namespace {
+
+using namespace utk;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::vector<Scalar> ParseList(const std::string& s) {
+  std::vector<Scalar> out;
+  std::string cur;
+  for (char c : s + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::atof(cur.c_str()));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: utk_cli <generate|utk1|utk2|topk|immutable> [--flags]\n"
+               "see the header of examples/utk_cli.cpp for details\n");
+  return 2;
+}
+
+Dataset LoadOrDie(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("data");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "error: --data FILE.csv is required\n");
+    std::exit(2);
+  }
+  auto data = LoadCsvFile(it->second);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "error: cannot parse %s\n", it->second.c_str());
+    std::exit(1);
+  }
+  return std::move(*data);
+}
+
+ConvexRegion BoxOrDie(const std::map<std::string, std::string>& flags,
+                      int pref_dim) {
+  auto it = flags.find("box");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "error: --box lo1,hi1,... is required\n");
+    std::exit(2);
+  }
+  std::vector<Scalar> v = ParseList(it->second);
+  if (static_cast<int>(v.size()) != 2 * pref_dim) {
+    std::fprintf(stderr,
+                 "error: --box needs %d numbers (lo,hi per preference dim; "
+                 "data has %d attributes -> %d preference dims)\n",
+                 2 * pref_dim, pref_dim + 1, pref_dim);
+    std::exit(2);
+  }
+  Vec lo(pref_dim), hi(pref_dim);
+  for (int i = 0; i < pref_dim; ++i) {
+    lo[i] = v[2 * i];
+    hi[i] = v[2 * i + 1];
+  }
+  return ConvexRegion::FromBox(lo, hi);
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string dist =
+      flags.count("dist") ? flags.at("dist") : std::string("IND");
+  const int n = flags.count("n") ? std::atoi(flags.at("n").c_str()) : 1000;
+  const int dim = flags.count("dim") ? std::atoi(flags.at("dim").c_str()) : 4;
+  const uint64_t seed =
+      flags.count("seed") ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
+                          : 42;
+  Dataset data;
+  if (dist == "HOTEL") {
+    data = GenerateHotelLike(n, seed);
+  } else if (dist == "HOUSE") {
+    data = GenerateHouseLike(n, seed);
+  } else if (dist == "NBA") {
+    data = GenerateNbaLike(n, seed);
+  } else {
+    data = Generate(ParseDistribution(dist), n, dim, seed);
+  }
+  if (flags.count("out")) {
+    if (!SaveCsvFile(data, flags.at("out"))) {
+      std::fprintf(stderr, "error: cannot write %s\n", flags.at("out").c_str());
+      return 1;
+    }
+    std::printf("wrote %zu records (%d attrs) to %s\n", data.size(),
+                DataDim(data), flags.at("out").c_str());
+  } else {
+    SaveCsv(data, std::cout);
+  }
+  return 0;
+}
+
+int CmdUtk(const std::map<std::string, std::string>& flags, bool second) {
+  Dataset data = LoadOrDie(flags);
+  const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  ConvexRegion region = BoxOrDie(flags, DataDim(data) - 1);
+  RTree tree = RTree::BulkLoad(data);
+  if (!second) {
+    Utk1Result r = Rsa().Run(data, tree, region, k);
+    std::printf("UTK1: %zu records\n", r.ids.size());
+    for (int32_t id : r.ids) std::printf("%d\n", id);
+    std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
+  } else {
+    Utk2Result r = Jaa().Run(data, tree, region, k);
+    std::printf("UTK2: %zu cells, %lld distinct top-%d sets\n",
+                r.cells.size(),
+                static_cast<long long>(r.NumDistinctTopkSets()), k);
+    for (const Utk2Cell& cell : r.cells) {
+      std::printf("witness");
+      for (Scalar w : cell.witness) std::printf(" %.6f", w);
+      std::printf(" topk");
+      for (int32_t id : cell.topk) std::printf(" %d", id);
+      std::printf("\n");
+    }
+    std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
+  }
+  return 0;
+}
+
+Vec WeightsOrDie(const std::map<std::string, std::string>& flags, int dim) {
+  if (!flags.count("weights")) {
+    std::fprintf(stderr, "error: --weights w1,...,w%d is required\n", dim);
+    std::exit(2);
+  }
+  std::vector<Scalar> w = ParseList(flags.at("weights"));
+  if (static_cast<int>(w.size()) != dim) {
+    std::fprintf(stderr, "error: expected %d weights\n", dim);
+    std::exit(2);
+  }
+  Scalar sum = 0;
+  for (Scalar v : w) sum += v;
+  Vec reduced(dim - 1);
+  for (int i = 0; i < dim - 1; ++i) reduced[i] = w[i] / sum;
+  return reduced;
+}
+
+int CmdTopk(const std::map<std::string, std::string>& flags) {
+  Dataset data = LoadOrDie(flags);
+  const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  Vec w = WeightsOrDie(flags, DataDim(data));
+  for (int32_t id : TopK(data, w, k)) std::printf("%d\n", id);
+  return 0;
+}
+
+int CmdImmutable(const std::map<std::string, std::string>& flags) {
+  Dataset data = LoadOrDie(flags);
+  const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  Vec w = WeightsOrDie(flags, DataDim(data));
+  auto res = ImmutableRegion(data, w, k);
+  std::printf("top-%d:", k);
+  for (int32_t id : res.topk) std::printf(" %d", id);
+  std::printf("\nimmutable region: %zu half-space constraints\n",
+              res.region.constraints().size());
+  for (const Halfspace& h : res.region.constraints()) {
+    std::printf("  ");
+    for (Scalar a : h.a) std::printf("%+.6f ", a);
+    std::printf("<= %+.6f\n", h.b);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "utk1") return CmdUtk(flags, false);
+  if (cmd == "utk2") return CmdUtk(flags, true);
+  if (cmd == "topk") return CmdTopk(flags);
+  if (cmd == "immutable") return CmdImmutable(flags);
+  return Usage();
+}

@@ -1,0 +1,156 @@
+#include "arrangement/arrangement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace utk {
+
+CellArrangement::CellArrangement(const ConvexRegion& base, QueryStats* stats)
+    : stats_(stats) {
+  auto ip = FindInteriorPoint(base.constraints());
+  assert(ip.has_value() && ip->radius > 0 && "base region must have interior");
+  Cell c;
+  c.bounds = base.constraints();
+  c.interior = ip->x;
+  c.radius = ip->radius;
+  cells_.push_back(std::move(c));
+  if (stats_ != nullptr) {
+    ++stats_->cells_created;
+    ++stats_->lp_calls;
+  }
+}
+
+CellArrangement::CellArrangement(std::vector<Halfspace> base_bounds,
+                                 Vec interior, Scalar radius,
+                                 QueryStats* stats)
+    : stats_(stats) {
+  Cell c;
+  c.bounds = std::move(base_bounds);
+  c.interior = std::move(interior);
+  c.radius = radius;
+  cells_.push_back(std::move(c));
+  if (stats_ != nullptr) ++stats_->cells_created;
+}
+
+void CellArrangement::Insert(int hs_id, const Halfspace& hs) {
+  if (stats_ != nullptr) ++stats_->halfspaces_inserted;
+  const Scalar norm = Norm(hs.a);
+  if (norm <= kEps) {
+    // Degenerate half-space: covers everything or nothing.
+    if (hs.b >= -kEps) {
+      for (Cell& c : cells_)
+        if (!c.frozen) {
+          c.covering.push_back(hs_id);
+          c.frozen = c.Count() >= freeze_threshold_;
+        }
+    }
+    return;
+  }
+
+  const size_t n = cells_.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Note: Insert may push new cells; only pre-existing cells are visited.
+    if (cells_[i].frozen) continue;
+
+    auto side_interior = [&](const Halfspace& h) {
+      std::vector<Halfspace> cons = cells_[i].bounds;
+      cons.push_back(h);
+      if (stats_ != nullptr) ++stats_->lp_calls;
+      auto ip = FindInteriorPoint(cons);
+      if (ip.has_value() && ip->radius > kInteriorEps) return ip;
+      return std::optional<InteriorPoint>{};
+    };
+
+    // Fast path: if the cached Chebyshev ball lies strictly on one side of
+    // the hyperplane, that side is feasible with the current interior point
+    // and only the other side needs an LP.
+    const Scalar slack = hs.Slack(cells_[i].interior);
+    std::optional<InteriorPoint> in_ip, out_ip;
+    if (slack >= norm * cells_[i].radius) {
+      in_ip = InteriorPoint{cells_[i].interior, cells_[i].radius};
+      out_ip = side_interior(hs.Complement());
+    } else if (slack <= -norm * cells_[i].radius) {
+      out_ip = InteriorPoint{cells_[i].interior, cells_[i].radius};
+      in_ip = side_interior(hs);
+    } else {
+      in_ip = side_interior(hs);
+      out_ip = side_interior(hs.Complement());
+    }
+    const bool inside_feasible = in_ip.has_value();
+    const bool outside_feasible = out_ip.has_value();
+
+    if (inside_feasible && outside_feasible) {
+      // Split: the existing cell becomes the inside child, a new cell is the
+      // outside child.
+      Cell outside;
+      outside.bounds = cells_[i].bounds;
+      outside.bounds.push_back(hs.Complement());
+      outside.covering = cells_[i].covering;
+      outside.interior = out_ip->x;
+      outside.radius = out_ip->radius;
+
+      cells_[i].bounds.push_back(hs);
+      cells_[i].covering.push_back(hs_id);
+      cells_[i].interior = in_ip->x;
+      cells_[i].radius = in_ip->radius;
+      cells_[i].frozen = cells_[i].Count() >= freeze_threshold_;
+
+      cells_.push_back(std::move(outside));
+      if (stats_ != nullptr) {
+        ++stats_->cells_created;
+        stats_->peak_bytes = std::max(stats_->peak_bytes, MemoryBytes());
+      }
+    } else if (inside_feasible) {
+      cells_[i].covering.push_back(hs_id);
+      cells_[i].interior = in_ip->x;
+      cells_[i].radius = in_ip->radius;
+      cells_[i].frozen = cells_[i].Count() >= freeze_threshold_;
+    } else if (outside_feasible) {
+      cells_[i].interior = out_ip->x;
+      cells_[i].radius = out_ip->radius;
+    }
+    // Neither side having interior cannot happen for a cell that had one;
+    // if tolerances ever conspire to produce it, the cell is left as-is.
+  }
+}
+
+int CellArrangement::MinCount() const {
+  int best = std::numeric_limits<int>::max();
+  for (const Cell& c : cells_) best = std::min(best, c.Count());
+  return best;
+}
+
+bool CellArrangement::AllFrozen() const {
+  for (const Cell& c : cells_)
+    if (!c.frozen) return false;
+  return true;
+}
+
+int CellArrangement::Locate(const Vec& w, Scalar eps) const {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    bool ok = true;
+    for (const Halfspace& h : cells_[i].bounds) {
+      if (!h.Contains(w, eps)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t CellArrangement::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Cell& c : cells_) {
+    bytes += static_cast<int64_t>(sizeof(Cell));
+    for (const Halfspace& h : c.bounds)
+      bytes += static_cast<int64_t>(sizeof(Halfspace) +
+                                    h.a.size() * sizeof(Scalar));
+    bytes += static_cast<int64_t>(c.covering.size() * sizeof(int) +
+                                  c.interior.size() * sizeof(Scalar));
+  }
+  return bytes;
+}
+
+}  // namespace utk

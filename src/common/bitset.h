@@ -1,0 +1,111 @@
+// A small dynamic bitset used for ancestor sets in the r-dominance graph.
+//
+// std::vector<bool> lacks word-level boolean algebra and popcount; this class
+// provides exactly the operations the refinement steps of RSA/JAA need:
+// union, and-not counting ("r-dominance count ignoring set I"), membership,
+// and iteration over set bits.
+#ifndef UTK_COMMON_BITSET_H_
+#define UTK_COMMON_BITSET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace utk {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(int nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  int size() const { return nbits_; }
+
+  void Set(int i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(int i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(int i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// this |= other.
+  void UnionWith(const Bitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// this &= ~other.
+  void SubtractWith(const Bitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  }
+
+  /// this &= other.
+  void IntersectWith(const Bitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  /// Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  /// |this & ~other| without materializing the difference.
+  int CountAndNot(const Bitset& other) const {
+    int c = 0;
+    for (size_t w = 0; w < words_.size(); ++w)
+      c += std::popcount(words_[w] & ~other.words_[w]);
+    return c;
+  }
+
+  /// |this & keep|.
+  int CountAnd(const Bitset& keep) const {
+    int c = 0;
+    for (size_t w = 0; w < words_.size(); ++w)
+      c += std::popcount(words_[w] & keep.words_[w]);
+    return c;
+  }
+
+  /// |this & keep & ~minus| — the "r-dominance count ignoring set I within
+  /// the active node set" primitive used by RSA and JAA.
+  int CountAndAndNot(const Bitset& keep, const Bitset& minus) const {
+    int c = 0;
+    for (size_t w = 0; w < words_.size(); ++w)
+      c += std::popcount(words_[w] & keep.words_[w] & ~minus.words_[w]);
+    return c;
+  }
+
+  /// True iff this and other share at least one set bit.
+  bool Intersects(const Bitset& other) const {
+    for (size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & other.words_[w]) return true;
+    return false;
+  }
+
+  /// Calls fn(i) for every set bit i in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int b = std::countr_zero(bits);
+        fn(static_cast<int>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const Bitset& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  int nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_BITSET_H_

@@ -1,0 +1,48 @@
+// Minimal parallel-for over independent work items (queries in a benchmark
+// batch, candidates in offline precomputation). Plain std::thread fan-out —
+// no pooling, no locking beyond an atomic cursor — because every use in this
+// repo is a handful of coarse, independent tasks.
+#ifndef UTK_COMMON_PARALLEL_H_
+#define UTK_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace utk {
+
+/// Invokes fn(i) for i in [0, count) across up to `threads` workers.
+/// fn must be safe to call concurrently for distinct i. Results should be
+/// written to pre-sized per-index slots. threads <= 1 runs inline.
+template <typename Fn>
+void ParallelFor(int count, int threads, Fn&& fn) {
+  if (count <= 0) return;
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const int workers = std::min(threads, count);
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+/// Hardware concurrency with a sane floor.
+inline int DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_PARALLEL_H_

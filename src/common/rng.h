@@ -1,0 +1,43 @@
+// Deterministic random number generation for workload generators and tests.
+//
+// All randomized components in this repo take an explicit seed so that every
+// experiment in EXPERIMENTS.md is exactly reproducible.
+#ifndef UTK_COMMON_RNG_H_
+#define UTK_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// Thin wrapper around std::mt19937_64 with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform in [lo, hi).
+  Scalar Uniform(Scalar lo = 0.0, Scalar hi = 1.0) {
+    return std::uniform_real_distribution<Scalar>(lo, hi)(gen_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  Scalar Normal(Scalar mean, Scalar stddev) {
+    return std::normal_distribution<Scalar>(mean, stddev)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_RNG_H_

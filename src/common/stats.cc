@@ -1,0 +1,31 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace utk {
+
+QueryStats& QueryStats::operator+=(const QueryStats& o) {
+  candidates += o.candidates;
+  lp_calls += o.lp_calls;
+  rdom_tests += o.rdom_tests;
+  cells_created += o.cells_created;
+  halfspaces_inserted += o.halfspaces_inserted;
+  drills += o.drills;
+  verify_calls += o.verify_calls;
+  heap_pops += o.heap_pops;
+  peak_bytes = std::max(peak_bytes, o.peak_bytes);
+  elapsed_ms += o.elapsed_ms;
+  return *this;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "candidates=" << candidates << " lp_calls=" << lp_calls
+     << " rdom_tests=" << rdom_tests << " cells=" << cells_created
+     << " halfspaces=" << halfspaces_inserted << " drills=" << drills
+     << " verify_calls=" << verify_calls << " heap_pops=" << heap_pops
+     << " peak_bytes=" << peak_bytes << " elapsed_ms=" << elapsed_ms;
+  return os.str();
+}
+
+}  // namespace utk

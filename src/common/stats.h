@@ -1,0 +1,49 @@
+// Execution counters and wall-clock timing shared by all UTK algorithms.
+//
+// Every algorithm fills a QueryStats so benchmarks can report the same
+// breakdowns the paper discusses (candidate counts, LP calls, arrangement
+// cells, memory estimate).
+#ifndef UTK_COMMON_STATS_H_
+#define UTK_COMMON_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace utk {
+
+/// Counters describing one UTK query execution.
+struct QueryStats {
+  int64_t candidates = 0;        ///< records surviving the filtering step
+  int64_t lp_calls = 0;          ///< linear programs solved
+  int64_t rdom_tests = 0;        ///< r-dominance tests performed
+  int64_t cells_created = 0;     ///< arrangement leaves materialized
+  int64_t halfspaces_inserted = 0;  ///< half-space insertions (all indices)
+  int64_t drills = 0;            ///< drill top-k probes
+  int64_t verify_calls = 0;      ///< recursive Verify/Partition invocations
+  int64_t heap_pops = 0;         ///< BBS heap pops during filtering
+  int64_t peak_bytes = 0;        ///< estimated peak arrangement memory
+  double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
+
+  QueryStats& operator+=(const QueryStats& o);
+  std::string ToString() const;
+};
+
+/// Simple wall-clock stopwatch (milliseconds).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_STATS_H_

@@ -1,0 +1,54 @@
+// Core value types shared across the UTK library.
+//
+// A Record is a point in the d-dimensional *data domain* (larger is better in
+// every attribute). Weight vectors live in the (d-1)-dimensional *preference
+// domain* obtained by dropping w_d = 1 - sum_{i<d} w_i (Section 3.1 of the
+// paper).
+#ifndef UTK_COMMON_TYPES_H_
+#define UTK_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace utk {
+
+/// Scalar type used throughout the library.
+using Scalar = double;
+
+/// Dense vector, used both for data-domain points and preference-domain
+/// weight vectors.
+using Vec = std::vector<Scalar>;
+
+/// Global numeric tolerance for score / geometry comparisons.
+inline constexpr Scalar kEps = 1e-9;
+
+/// Minimum Chebyshev radius for an arrangement cell to be considered
+/// non-degenerate. Cells thinner than this are measure-zero tie boundaries
+/// and are dropped (see DESIGN.md, "Numerical policy").
+inline constexpr Scalar kInteriorEps = 1e-7;
+
+/// A data record: an id (stable index into the owning dataset) plus its
+/// attribute vector in the data domain.
+struct Record {
+  int32_t id = -1;
+  Vec attrs;
+
+  int Dim() const { return static_cast<int>(attrs.size()); }
+};
+
+/// A dataset is an id-addressable vector of records; `data[i].id == i` is an
+/// invariant maintained by all generators and loaders in this repo.
+using Dataset = std::vector<Record>;
+
+/// Returns the data dimensionality of a (non-empty) dataset.
+inline int DataDim(const Dataset& data) {
+  return data.empty() ? 0 : data.front().Dim();
+}
+
+/// Returns the preference-domain dimensionality for d-dimensional data.
+inline int PrefDim(int data_dim) { return data_dim - 1; }
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_TYPES_H_

@@ -1,0 +1,77 @@
+#include "core/drill.h"
+
+#include <queue>
+
+#include "geometry/linear.h"
+
+namespace utk {
+
+std::optional<Vec> DrillVector(const AffineScore& objective,
+                               const std::vector<Halfspace>& cons,
+                               QueryStats* stats) {
+  if (stats != nullptr) {
+    ++stats->lp_calls;
+    ++stats->drills;
+  }
+  LpResult r = SolveLp(objective.coef, cons, /*maximize=*/true);
+  if (r.status != LpStatus::kOptimal) return std::nullopt;
+  return r.x;
+}
+
+std::vector<int> GraphTopK(const Dataset& data, const RSkybandResult& band,
+                           const RDominanceGraph& g, const Bitset& mask,
+                           const Vec& w, int k, QueryStats* stats) {
+  if (stats != nullptr) ++stats->drills;
+  struct Entry {
+    Scalar score;
+    int node;
+    bool operator<(const Entry& o) const {
+      if (score != o.score) return score < o.score;
+      return node > o.node;  // deterministic tie-break: smaller node first
+    }
+  };
+  std::priority_queue<Entry> heap;
+  Bitset seen(g.size());
+
+  auto eval = [&](int i) { return Score(data[band.ids[i]], w); };
+
+  // Seed with the roots of the masked sub-DAG: masked-in nodes none of whose
+  // (transitive) ancestors are masked-in.
+  for (int i = 0; i < g.size(); ++i) {
+    if (mask.Test(i) && !g.Ancestors(i).Intersects(mask)) {
+      seen.Set(i);
+      heap.push({eval(i), i});
+    }
+  }
+
+  std::vector<int> result;
+  // Discovers the masked-in frontier below `u`, treating masked-out nodes as
+  // transparent (their arcs still certify score dominance at any w in R).
+  std::vector<int> dfs;
+  auto push_frontier = [&](int u) {
+    dfs.assign(1, u);
+    while (!dfs.empty()) {
+      const int v = dfs.back();
+      dfs.pop_back();
+      for (int c : g.Children(v)) {
+        if (seen.Test(c)) continue;
+        seen.Set(c);
+        if (mask.Test(c)) {
+          heap.push({eval(c), c});
+        } else {
+          dfs.push_back(c);
+        }
+      }
+    }
+  };
+
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    const Entry e = heap.top();
+    heap.pop();
+    result.push_back(e.node);
+    push_frontier(e.node);
+  }
+  return result;
+}
+
+}  // namespace utk

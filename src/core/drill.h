@@ -1,0 +1,40 @@
+// The drill optimization (Section 4.3).
+//
+// A drill executes a regular top-k probe at a carefully chosen weight vector
+// inside a region/partition: the vector that maximizes the candidate's score
+// subject to the region's constraints (a small LP). The probe itself never
+// touches the dataset or the R-tree — it runs branch-and-bound over the
+// r-dominance graph G, whose arcs give score upper bounds at any w in R.
+#ifndef UTK_CORE_DRILL_H_
+#define UTK_CORE_DRILL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/stats.h"
+#include "geometry/lp.h"
+#include "skyline/graph.h"
+#include "skyline/rskyband.h"
+
+namespace utk {
+
+/// Weight vector inside the region defined by `cons` that maximizes the
+/// affine `objective` (the candidate's score). Returns nullopt if the LP
+/// fails (degenerate region); callers then fall back to an interior point.
+std::optional<Vec> DrillVector(const AffineScore& objective,
+                               const std::vector<Halfspace>& cons,
+                               QueryStats* stats = nullptr);
+
+/// Top-k probe at weight vector `w`, evaluated purely on the r-dominance
+/// graph via branch-and-bound (max-heap of node scores seeded with the
+/// graph's roots; a child is only pushed once its parent pops, because a
+/// parent's score upper-bounds its descendants' anywhere in R).
+/// Only nodes in `mask` participate. Returns candidate indices, best first.
+std::vector<int> GraphTopK(const Dataset& data, const RSkybandResult& band,
+                           const RDominanceGraph& g, const Bitset& mask,
+                           const Vec& w, int k, QueryStats* stats = nullptr);
+
+}  // namespace utk
+
+#endif  // UTK_CORE_DRILL_H_

@@ -1,0 +1,46 @@
+#include "core/kspr.h"
+
+#include <algorithm>
+
+#include "geometry/linear.h"
+
+namespace utk {
+
+KsprResult Kspr(const Dataset& data, int32_t p,
+                const std::vector<int32_t>& competitors,
+                const ConvexRegion& r, int k, bool early_exit,
+                QueryStats* stats) {
+  KsprResult result;
+  CellArrangement arr(r, stats);
+  arr.set_freeze_threshold(k);
+
+  // Insert stronger competitors first (higher score at the pivot), so cells
+  // freeze as early as possible.
+  std::vector<int32_t> order = competitors;
+  auto pivot = r.Pivot();
+  if (pivot.has_value()) {
+    std::vector<Scalar> score(data.size());
+    for (int32_t q : order) score[q] = Score(data[q], *pivot);
+    std::sort(order.begin(), order.end(),
+              [&](int32_t a, int32_t b) { return score[a] > score[b]; });
+  }
+
+  for (int32_t q : order) {
+    if (q == p) continue;
+    arr.Insert(q, BetterOrEqual(data[q], data[p]));
+    if (early_exit && arr.AllFrozen()) {
+      // Every cell already has k competitors above p: disqualified.
+      return result;
+    }
+  }
+  for (const Cell& c : arr.cells()) {
+    if (c.Count() < k) {
+      result.qualifies = true;
+      if (early_exit) return result;
+      result.topk_cells.push_back(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace utk

@@ -1,0 +1,43 @@
+// Constrained kSPR component (Section 3.3), re-implemented in the style of
+// the LP-CTA cell-tree algorithm of Tang et al. [45].
+//
+// A monochromatic reverse top-k query at record p, restricted to region R:
+// compute the sub-regions of R where p ranks among the top-k. Each
+// competitor q maps to the half-space S(q) >= S(p); in the arrangement of
+// these half-spaces over R, cells covered by fewer than k of them form the
+// answer. Cells reaching count k are frozen (their geometry no longer
+// matters), which is the pruning that makes the baseline tractable at all.
+//
+// The UTK baselines (SK and ON) call this once per filtered candidate; this
+// per-candidate single-arrangement design — as opposed to RSA/JAA's shared
+// graph and local disposable arrangements — is precisely what the paper's
+// experiments show to be 1-2 orders of magnitude slower.
+#ifndef UTK_CORE_KSPR_H_
+#define UTK_CORE_KSPR_H_
+
+#include <vector>
+
+#include "arrangement/arrangement.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "geometry/region.h"
+
+namespace utk {
+
+struct KsprResult {
+  bool qualifies = false;          ///< p in the top-k somewhere in R
+  std::vector<Cell> topk_cells;    ///< cells of R where p is in the top-k
+};
+
+/// Runs constrained kSPR for record `p` against `competitors` (record ids
+/// into `data`). If `early_exit` is true (UTK1 mode), stops as soon as
+/// qualification is decided and leaves `topk_cells` empty; otherwise (UTK2
+/// mode) returns all qualifying cells.
+KsprResult Kspr(const Dataset& data, int32_t p,
+                const std::vector<int32_t>& competitors,
+                const ConvexRegion& r, int k, bool early_exit,
+                QueryStats* stats = nullptr);
+
+}  // namespace utk
+
+#endif  // UTK_CORE_KSPR_H_

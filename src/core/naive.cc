@@ -1,0 +1,113 @@
+#include "core/naive.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/topk.h"
+#include "geometry/linear.h"
+#include "geometry/lp.h"
+#include "skyline/rdominance.h"
+
+namespace utk {
+
+namespace {
+
+// Depth-first search over the sign vectors of the competitors' half-spaces.
+// Returns true iff some cell of R (with interior) lies inside fewer than
+// `quota` of them.
+bool ExistsCellBelowQuota(const std::vector<Halfspace>& cons,
+                          const std::vector<Halfspace>& comps, size_t idx,
+                          int count, int quota) {
+  if (count >= quota) return false;
+  if (idx == comps.size()) return true;
+  // Try the outside branch first: it keeps the count unchanged, so it leads
+  // toward witness cells; for disqualified records both branches die anyway.
+  {
+    std::vector<Halfspace> outside = cons;
+    outside.push_back(comps[idx].Complement());
+    if (HasInterior(outside) &&
+        ExistsCellBelowQuota(outside, comps, idx + 1, count, quota)) {
+      return true;
+    }
+  }
+  {
+    std::vector<Halfspace> inside = cons;
+    inside.push_back(comps[idx]);
+    if (HasInterior(inside) &&
+        ExistsCellBelowQuota(inside, comps, idx + 1, count + 1, quota)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool NaiveUtk1Member(const Dataset& data, int32_t p, const ConvexRegion& r,
+                     int k) {
+  // Partition competitors into always-above (r-dominators), always-below,
+  // and genuinely ambiguous ones; only the latter need enumeration.
+  int always_above = 0;
+  std::vector<Halfspace> ambiguous;
+  for (const Record& q : data) {
+    if (q.id == p) continue;
+    switch (RDominance(q, data[p], r)) {
+      case RDom::kDominates:
+        if (++always_above >= k) return false;
+        break;
+      case RDom::kDominatedBy:
+      case RDom::kEqual:
+        break;
+      case RDom::kIncomparable:
+        ambiguous.push_back(BetterOrEqual(q, data[p]));
+        break;
+    }
+  }
+  // Branch on the half-spaces most likely to hold (largest slack at the
+  // pivot) first, so the count >= quota cut-off prunes the DFS early.
+  auto pivot = r.Pivot();
+  if (pivot.has_value()) {
+    std::sort(ambiguous.begin(), ambiguous.end(),
+              [&](const Halfspace& a, const Halfspace& b) {
+                return a.Slack(*pivot) > b.Slack(*pivot);
+              });
+  }
+  return ExistsCellBelowQuota(r.constraints(), ambiguous, 0, 0,
+                              k - always_above);
+}
+
+std::vector<int32_t> NaiveUtk1(const Dataset& data, const ConvexRegion& r,
+                               int k) {
+  std::vector<int32_t> out;
+  for (const Record& p : data)
+    if (NaiveUtk1Member(data, p.id, r, k)) out.push_back(p.id);
+  return out;
+}
+
+std::vector<std::pair<Vec, std::vector<int32_t>>> SampleTopkSets(
+    const Dataset& data, const ConvexRegion& r, int k, int samples,
+    uint64_t seed) {
+  // Bounding box of R, per dimension.
+  const int dim = r.dim();
+  Vec lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    Vec unit(dim, 0.0);
+    unit[i] = 1.0;
+    auto range = r.RangeOf(unit, 0.0);
+    lo[i] = range->first;
+    hi[i] = range->second;
+  }
+
+  Rng rng(seed);
+  std::vector<std::pair<Vec, std::vector<int32_t>>> out;
+  int guard = samples * 1000;
+  while (static_cast<int>(out.size()) < samples && guard-- > 0) {
+    Vec w(dim);
+    for (int i = 0; i < dim; ++i) w[i] = rng.Uniform(lo[i], hi[i]);
+    if (!r.Contains(w)) continue;
+    out.emplace_back(w, TopK(data, w, k));
+  }
+  return out;
+}
+
+}  // namespace utk

@@ -1,0 +1,33 @@
+// Naive exact UTK oracles, used only for testing and for calibrating the
+// fast algorithms. Deliberately implemented with different machinery than
+// RSA/JAA/kSPR: plain depth-first half-space enumeration with LP feasibility,
+// no arrangement index, no graph, no pruning beyond count >= k.
+#ifndef UTK_CORE_NAIVE_H_
+#define UTK_CORE_NAIVE_H_
+
+#include <vector>
+
+#include "core/utk.h"
+
+namespace utk {
+
+/// Exact UTK1 membership of record `p`: does some w in R give p a rank <= k?
+/// Considers every other record in `data` as a competitor.
+bool NaiveUtk1Member(const Dataset& data, int32_t p, const ConvexRegion& r,
+                     int k);
+
+/// Exact UTK1 by testing every record. O(n * 2^n) worst case; for tiny
+/// datasets only.
+std::vector<int32_t> NaiveUtk1(const Dataset& data, const ConvexRegion& r,
+                               int k);
+
+/// Exact top-k at sampled weight vectors: a completeness probe for UTK2.
+/// Returns `samples` weight vectors inside R (rejection sampling from R's
+/// bounding box) paired with their exact top-k sets.
+std::vector<std::pair<Vec, std::vector<int32_t>>> SampleTopkSets(
+    const Dataset& data, const ConvexRegion& r, int k, int samples,
+    uint64_t seed);
+
+}  // namespace utk
+
+#endif  // UTK_CORE_NAIVE_H_

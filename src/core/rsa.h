@@ -1,0 +1,45 @@
+// RSA — the r-Skyband Algorithm for UTK1 (Section 4).
+//
+// Filtering: compute the r-skyband and the r-dominance graph G (Section 4.1).
+// Refinement: verify candidates one by one in descending r-dominance-count
+// order; a verified candidate confirms all its ancestors in G for free, and
+// a disqualified candidate is removed from G. Verification of a candidate
+// recursively partitions the region with the half-spaces of the strongest
+// (r-dominance count 0) competitors, confirms promising partitions via
+// Lemma 1, and short-circuits with the drill optimization (Section 4.3).
+#ifndef UTK_CORE_RSA_H_
+#define UTK_CORE_RSA_H_
+
+#include "core/utk.h"
+#include "index/rtree.h"
+#include "skyline/graph.h"
+
+namespace utk {
+
+class Rsa {
+ public:
+  struct Options {
+    bool use_drill = true;      ///< drill optimization (Section 4.3)
+    bool use_lemma1 = true;     ///< Lemma-1 competitor pruning
+    /// Maximum half-spaces inserted per local arrangement (the paper's
+    /// "small, carefully selected subset" of competitors, Section 4.2).
+    /// Leftover strongest competitors are handled by the recursion, which
+    /// only descends into promising partitions. 0 = insert all count-0
+    /// competitors at once.
+    int wave_cap = 8;
+  };
+
+  Rsa() = default;
+  explicit Rsa(Options options) : options_(options) {}
+
+  /// Answers UTK1 for `data` (indexed by `tree`), parameter `k`, region `r`.
+  Utk1Result Run(const Dataset& data, const RTree& tree,
+                 const ConvexRegion& r, int k) const;
+
+ private:
+  Options options_ = {};
+};
+
+}  // namespace utk
+
+#endif  // UTK_CORE_RSA_H_

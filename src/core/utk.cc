@@ -1,0 +1,24 @@
+#include "core/utk.h"
+
+#include <algorithm>
+#include <set>
+
+namespace utk {
+
+std::vector<int32_t> Utk2Result::AllRecords() const {
+  std::set<int32_t> all;
+  for (const Utk2Cell& c : cells) all.insert(c.topk.begin(), c.topk.end());
+  return {all.begin(), all.end()};
+}
+
+int64_t Utk2Result::NumDistinctTopkSets() const {
+  std::set<std::vector<int32_t>> sets;
+  for (const Utk2Cell& c : cells) {
+    std::vector<int32_t> s = c.topk;
+    std::sort(s.begin(), s.end());
+    sets.insert(std::move(s));
+  }
+  return static_cast<int64_t>(sets.size());
+}
+
+}  // namespace utk

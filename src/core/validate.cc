@@ -1,0 +1,59 @@
+#include "core/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace utk {
+
+std::optional<std::string> ValidateDataset(const Dataset& data) {
+  if (data.empty()) return "dataset is empty";
+  const int dim = data.front().Dim();
+  if (dim < 2) return "records need at least 2 attributes";
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data[i];
+    if (r.id != static_cast<int32_t>(i)) {
+      std::ostringstream os;
+      os << "record at position " << i << " has id " << r.id
+         << " (ids must equal positions)";
+      return os.str();
+    }
+    if (r.Dim() != dim) {
+      std::ostringstream os;
+      os << "record " << i << " has " << r.Dim() << " attributes, expected "
+         << dim;
+      return os.str();
+    }
+    for (int d = 0; d < dim; ++d) {
+      if (!std::isfinite(r.attrs[d])) {
+        std::ostringstream os;
+        os << "record " << i << " attribute " << d << " is not finite";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ValidateQuery(const Dataset& data,
+                                         const ConvexRegion& region, int k) {
+  if (auto err = ValidateDataset(data)) return err;
+  if (k < 1) return "k must be >= 1";
+  const int pref_dim = DataDim(data) - 1;
+  if (region.dim() != pref_dim) {
+    std::ostringstream os;
+    os << "region has dimension " << region.dim() << ", expected "
+       << pref_dim << " (= data dimensionality - 1)";
+    return os.str();
+  }
+  // The region must have interior and lie inside the weight simplex
+  // (otherwise some 'preferences' would weigh an attribute negatively).
+  ConvexRegion clipped = region;
+  ConvexRegion domain = ConvexRegion::FullDomain(pref_dim);
+  for (const Halfspace& h : domain.constraints()) clipped.AddConstraint(h);
+  if (!clipped.HasInteriorPoint()) {
+    return "query region has empty interior within the weight simplex";
+  }
+  return std::nullopt;
+}
+
+}  // namespace utk

@@ -1,0 +1,30 @@
+// Input validation for the public UTK entry points.
+//
+// The algorithms themselves assume well-formed inputs (ids equal to indices,
+// consistent dimensionality, a query region with interior); these helpers
+// let applications check user-supplied data up front and report actionable
+// errors instead of tripping asserts deep inside the geometry.
+#ifndef UTK_CORE_VALIDATE_H_
+#define UTK_CORE_VALIDATE_H_
+
+#include <optional>
+#include <string>
+
+#include "geometry/region.h"
+
+namespace utk {
+
+/// Returns an error description, or nullopt if the dataset is well-formed:
+/// non-empty, uniform dimensionality >= 2, ids equal to positions, and all
+/// attribute values finite.
+std::optional<std::string> ValidateDataset(const Dataset& data);
+
+/// Returns an error description, or nullopt if (data, region, k) form a
+/// valid UTK query: valid dataset, k >= 1, region dimensionality d-1, and a
+/// region with non-empty interior inside the weight simplex.
+std::optional<std::string> ValidateQuery(const Dataset& data,
+                                         const ConvexRegion& region, int k);
+
+}  // namespace utk
+
+#endif  // UTK_CORE_VALIDATE_H_

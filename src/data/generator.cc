@@ -1,0 +1,109 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace utk {
+
+namespace {
+
+Scalar Clamp01(Scalar v) { return std::clamp(v, Scalar{0}, Scalar{1}); }
+
+Vec IndependentPoint(int dim, Rng& rng) {
+  Vec v(dim);
+  for (int i = 0; i < dim; ++i) v[i] = rng.Uniform();
+  return v;
+}
+
+// Correlated: attributes cluster around a shared "quality" value on the
+// diagonal, with small independent jitter.
+Vec CorrelatedPoint(int dim, Rng& rng) {
+  Vec v(dim);
+  Scalar base;
+  do {
+    base = rng.Normal(0.5, 0.15);
+  } while (base < 0.0 || base > 1.0);
+  for (int i = 0; i < dim; ++i) v[i] = Clamp01(base + rng.Normal(0.0, 0.05));
+  return v;
+}
+
+// Anticorrelated: points concentrate around the hyperplane sum(x) = dim/2;
+// a record that is good in one dimension is poor in the others.
+Vec AnticorrelatedPoint(int dim, Rng& rng) {
+  Vec v(dim);
+  for (;;) {
+    Scalar total;
+    do {
+      total = rng.Normal(0.5, 0.05) * dim;
+    } while (total < 0.0 || total > dim);
+    // Split `total` across dimensions with random proportions.
+    Vec cuts(dim);
+    Scalar sum = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      cuts[i] = rng.Uniform(0.01, 1.0);
+      sum += cuts[i];
+    }
+    bool ok = true;
+    for (int i = 0; i < dim; ++i) {
+      v[i] = total * cuts[i] / sum;
+      if (v[i] > 1.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return v;
+  }
+}
+
+}  // namespace
+
+Distribution ParseDistribution(const std::string& name) {
+  std::string up;
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(c)));
+  if (up == "IND") return Distribution::kIndependent;
+  if (up == "COR") return Distribution::kCorrelated;
+  if (up == "ANTI") return Distribution::kAnticorrelated;
+  assert(false && "unknown distribution");
+  return Distribution::kIndependent;
+}
+
+std::string DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent:
+      return "IND";
+    case Distribution::kCorrelated:
+      return "COR";
+    case Distribution::kAnticorrelated:
+      return "ANTI";
+  }
+  return "?";
+}
+
+Dataset Generate(Distribution dist, int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Record rec;
+    rec.id = i;
+    switch (dist) {
+      case Distribution::kIndependent:
+        rec.attrs = IndependentPoint(dim, rng);
+        break;
+      case Distribution::kCorrelated:
+        rec.attrs = CorrelatedPoint(dim, rng);
+        break;
+      case Distribution::kAnticorrelated:
+        rec.attrs = AnticorrelatedPoint(dim, rng);
+        break;
+    }
+    data.push_back(std::move(rec));
+  }
+  return data;
+}
+
+}  // namespace utk

@@ -1,0 +1,27 @@
+// Synthetic benchmark data generators (Section 7): the standard Independent
+// (IND), Correlated (COR), and Anticorrelated (ANTI) distributions of
+// Borzsonyi et al. used throughout the skyline / preference-query
+// literature. Attributes are in [0, 1]; larger is better.
+#ifndef UTK_DATA_GENERATOR_H_
+#define UTK_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace utk {
+
+enum class Distribution { kIndependent, kCorrelated, kAnticorrelated };
+
+/// Parses "IND" / "COR" / "ANTI" (case-insensitive).
+Distribution ParseDistribution(const std::string& name);
+std::string DistributionName(Distribution d);
+
+/// Generates `n` records with `dim` attributes from the given distribution.
+/// Record ids are 0..n-1.
+Dataset Generate(Distribution dist, int n, int dim, uint64_t seed);
+
+}  // namespace utk
+
+#endif  // UTK_DATA_GENERATOR_H_

@@ -1,0 +1,113 @@
+#include "data/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace utk {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+std::optional<Scalar> ParseNumber(const std::string& s) {
+  // Trim spaces.
+  size_t b = s.find_first_not_of(" \t");
+  size_t e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) return std::nullopt;
+  const std::string t = s.substr(b, e - b + 1);
+  try {
+    size_t used = 0;
+    const Scalar v = std::stod(t, &used);
+    if (used != t.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void SaveCsv(const Dataset& data, std::ostream& os,
+             const std::string& header) {
+  if (!header.empty()) os << header << '\n';
+  for (const Record& r : data) {
+    for (size_t i = 0; i < r.attrs.size(); ++i) {
+      if (i > 0) os << ',';
+      os << r.attrs[i];
+    }
+    os << '\n';
+  }
+}
+
+bool SaveCsvFile(const Dataset& data, const std::string& path,
+                 const std::string& header) {
+  std::ofstream f(path);
+  if (!f.is_open()) return false;
+  SaveCsv(data, f, header);
+  return f.good();
+}
+
+std::optional<Dataset> LoadCsv(std::istream& is) {
+  Dataset data;
+  std::string line;
+  int expected_width = -1;
+  bool first_content_line = true;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    Vec attrs;
+    attrs.reserve(fields.size());
+    bool numeric = true;
+    for (const std::string& f : fields) {
+      auto v = ParseNumber(f);
+      if (!v.has_value()) {
+        numeric = false;
+        break;
+      }
+      attrs.push_back(*v);
+    }
+    if (!numeric) {
+      if (first_content_line) {
+        first_content_line = false;  // header
+        continue;
+      }
+      return std::nullopt;  // non-numeric data row
+    }
+    first_content_line = false;
+    if (expected_width < 0) {
+      expected_width = static_cast<int>(attrs.size());
+    } else if (static_cast<int>(attrs.size()) != expected_width) {
+      return std::nullopt;  // ragged row
+    }
+    Record r;
+    r.id = static_cast<int32_t>(data.size());
+    r.attrs = std::move(attrs);
+    data.push_back(std::move(r));
+  }
+  if (data.empty()) return std::nullopt;
+  return data;
+}
+
+std::optional<Dataset> LoadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return std::nullopt;
+  return LoadCsv(f);
+}
+
+}  // namespace utk

@@ -1,0 +1,30 @@
+// Dataset I/O: CSV load/save so users can run UTK over their own data and
+// persist generated workloads. Format: one record per line, attributes
+// comma-separated, optional header line (auto-detected on load); record ids
+// are assigned by line order.
+#ifndef UTK_DATA_IO_H_
+#define UTK_DATA_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// Writes the dataset as CSV. `header` (e.g. "svc,cln,loc") is optional.
+void SaveCsv(const Dataset& data, std::ostream& os,
+             const std::string& header = "");
+bool SaveCsvFile(const Dataset& data, const std::string& path,
+                 const std::string& header = "");
+
+/// Parses CSV into a dataset. Skips blank lines; a first line containing any
+/// non-numeric field is treated as a header. Returns nullopt on malformed
+/// input (ragged rows, non-numeric data rows, no rows).
+std::optional<Dataset> LoadCsv(std::istream& is);
+std::optional<Dataset> LoadCsvFile(const std::string& path);
+
+}  // namespace utk
+
+#endif  // UTK_DATA_IO_H_

@@ -1,0 +1,116 @@
+#include "data/realistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace utk {
+
+namespace {
+
+Scalar Clamp(Scalar v, Scalar lo, Scalar hi) { return std::clamp(v, lo, hi); }
+
+}  // namespace
+
+Dataset GenerateHotelLike(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Scalar quality;
+    do {
+      quality = rng.Normal(6.5, 1.6);
+    } while (quality < 0.0 || quality > 10.0);
+    Record rec;
+    rec.id = i;
+    rec.attrs = {
+        Clamp(quality + rng.Normal(0.0, 0.8), 0.0, 10.0),   // Service
+        Clamp(quality + rng.Normal(0.0, 0.7), 0.0, 10.0),   // Cleanliness
+        Clamp(quality * 0.4 + rng.Uniform(0.0, 6.0), 0.0, 10.0),  // Location
+        Clamp(10.0 - quality * 0.5 + rng.Normal(0.0, 1.2), 0.0, 10.0),  // Value
+    };
+    data.push_back(std::move(rec));
+  }
+  return data;
+}
+
+Dataset GenerateHouseLike(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Latent income percentile with a heavy upper tail.
+    const Scalar income = Clamp(std::pow(rng.Uniform(), 1.8), 0.0, 1.0);
+    const Scalar tradeoff = rng.Uniform();  // price vs. size trade-off
+    Record rec;
+    rec.id = i;
+    rec.attrs = {
+        Clamp(income + rng.Normal(0.0, 0.08), 0.0, 1.0),       // comfort
+        Clamp(income + rng.Normal(0.0, 0.10), 0.0, 1.0),       // utilities
+        Clamp(income * 0.6 + rng.Uniform(0.0, 0.4), 0.0, 1.0),  // insurance
+        Clamp(tradeoff + rng.Normal(0.0, 0.05), 0.0, 1.0),      // size
+        Clamp(1.0 - tradeoff + rng.Normal(0.0, 0.05), 0.0, 1.0),  // afford.
+        rng.Uniform(),                                          // location
+    };
+    data.push_back(std::move(rec));
+  }
+  return data;
+}
+
+Dataset GenerateNbaLike(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Heavy-tailed star factor in [0, 1]; most players are role players.
+    const Scalar star = Clamp(-0.25 * std::log(rng.Uniform(1e-6, 1.0)), 0.0,
+                              1.0);
+    // Role mix: 1 => pure guard (assists/threes), 0 => pure big
+    // (rebounds/blocks).
+    const Scalar role = rng.Uniform();
+    const Scalar minutes = Clamp(12.0 + 30.0 * star + rng.Normal(0.0, 4.0),
+                                 0.0, 48.0);
+    const Scalar load = minutes / 48.0;
+    auto stat = [&](Scalar scale, Scalar affinity, Scalar noise) {
+      return Clamp(scale * star * load * affinity + rng.Normal(0.0, noise),
+                   0.0, scale);
+    };
+    Record rec;
+    rec.id = i;
+    rec.attrs = {
+        stat(32.0, 0.7 + 0.3 * role, 2.0),          // points
+        stat(15.0, 1.1 - 0.8 * role, 1.0),          // rebounds
+        stat(11.0, 0.2 + 0.9 * role, 0.8),          // assists
+        stat(2.5, 0.5 + 0.5 * role, 0.25),          // steals
+        stat(3.0, 1.2 - 1.0 * role, 0.25),          // blocks
+        stat(4.0, 0.1 + 1.0 * role, 0.4),           // three-pointers
+        stat(9.0, 0.8, 0.8),                        // free throws
+        minutes,                                    // minutes
+    };
+    data.push_back(std::move(rec));
+  }
+  return data;
+}
+
+Dataset FigureOneHotels() {
+  const Scalar table[7][3] = {
+      {8.3, 9.1, 7.2},  // p1
+      {2.4, 9.6, 8.6},  // p2
+      {5.4, 1.6, 4.1},  // p3
+      {2.6, 6.9, 9.4},  // p4
+      {7.3, 3.1, 2.4},  // p5
+      {7.9, 6.4, 6.6},  // p6
+      {8.6, 7.1, 4.3},  // p7
+  };
+  Dataset data;
+  for (int i = 0; i < 7; ++i) {
+    Record rec;
+    rec.id = i;
+    rec.attrs = {table[i][0], table[i][1], table[i][2]};
+    data.push_back(std::move(rec));
+  }
+  return data;
+}
+
+}  // namespace utk

@@ -1,0 +1,42 @@
+// Synthetic stand-ins for the paper's real datasets (Section 7):
+// HOTEL (418,843 records, 4D guest ratings), HOUSE (315,265 records, 6D
+// household expenditures), and NBA (21,960 records, 8D per-season player
+// statistics). The originals are not redistributable; these generators
+// reproduce the properties that drive UTK cost — dimensionality, scale, and
+// correlation structure — as documented in DESIGN.md §5.
+#ifndef UTK_DATA_REALISTIC_H_
+#define UTK_DATA_REALISTIC_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// 4D hotel ratings (Service, Cleanliness, Location, Value) on a 0-10 scale.
+/// Ratings are mildly positively correlated through a latent hotel-quality
+/// factor, with per-aspect jitter: good hotels tend to be good at everything,
+/// but location is noisier (a great hotel can sit in a dull neighborhood).
+Dataset GenerateHotelLike(int n, uint64_t seed);
+
+/// 6D household attribute vectors on a [0, 1] scale. Mixes two correlated
+/// blocks (income-driven comfort attributes) with anticorrelated trade-off
+/// attributes (price vs. size), giving a skyband larger than HOTEL's at
+/// equal cardinality — matching the paper's observation that HOUSE is the
+/// harder 6D workload.
+Dataset GenerateHouseLike(int n, uint64_t seed);
+
+/// 8D per-game basketball statistics (points, rebounds, assists, steals,
+/// blocks, three-pointers, free throws, minutes). A heavy-tailed latent
+/// "star" factor scales all stats; a role mix (guard / wing / big) trades
+/// rebounds+blocks against assists+threes, producing the anticorrelated
+/// pockets that make NBA's 8D skyband disproportionately rich.
+Dataset GenerateNbaLike(int n, uint64_t seed);
+
+/// The 7-hotel example of Figure 1 (attributes: Service, Cleanliness,
+/// Location). Record ids 0..6 correspond to p1..p7.
+Dataset FigureOneHotels();
+
+}  // namespace utk
+
+#endif  // UTK_DATA_REALISTIC_H_

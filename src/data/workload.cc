@@ -1,0 +1,42 @@
+#include "data/workload.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace utk {
+
+ConvexRegion RandomQueryBox(int pref_dim, Scalar sigma, Rng& rng) {
+  assert(pref_dim >= 1);
+  assert(sigma > 0.0 && sigma * pref_dim < 1.0 &&
+         "box too large to fit inside the weight simplex");
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    Vec lo(pref_dim), hi(pref_dim);
+    Scalar hi_sum = 0.0;
+    for (int i = 0; i < pref_dim; ++i) {
+      lo[i] = rng.Uniform(0.0, 1.0 - sigma);
+      hi[i] = lo[i] + sigma;
+      hi_sum += hi[i];
+    }
+    if (hi_sum <= 1.0) return ConvexRegion::FromBox(lo, hi);
+  }
+  // Fallback: a box anchored at the simplex centroid always fits when
+  // sigma * pref_dim < 1.
+  Vec lo(pref_dim), hi(pref_dim);
+  for (int i = 0; i < pref_dim; ++i) {
+    lo[i] = (1.0 - sigma * pref_dim) / (2.0 * pref_dim);
+    hi[i] = lo[i] + sigma;
+  }
+  return ConvexRegion::FromBox(lo, hi);
+}
+
+std::vector<ConvexRegion> QueryBatch(int pref_dim, Scalar sigma, int count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ConvexRegion> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i)
+    out.push_back(RandomQueryBox(pref_dim, sigma, rng));
+  return out;
+}
+
+}  // namespace utk

@@ -1,0 +1,27 @@
+// Query-workload helpers for experiments (Section 7): random axis-parallel
+// hyper-cube regions of side-length sigma, placed uniformly inside the valid
+// preference simplex, exactly as the paper's setup prescribes.
+#ifndef UTK_DATA_WORKLOAD_H_
+#define UTK_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/region.h"
+
+namespace utk {
+
+/// A random axis-parallel hyper-cube in the (pref_dim)-dimensional preference
+/// domain with side-length `sigma` (fraction of the unit axis), rejected
+/// until it lies fully inside the weight simplex so that every vector in it
+/// is a valid preference.
+ConvexRegion RandomQueryBox(int pref_dim, Scalar sigma, Rng& rng);
+
+/// A batch of `count` random query boxes (the paper averages over 50).
+std::vector<ConvexRegion> QueryBatch(int pref_dim, Scalar sigma, int count,
+                                     uint64_t seed);
+
+}  // namespace utk
+
+#endif  // UTK_DATA_WORKLOAD_H_

@@ -1,0 +1,104 @@
+#include "geometry/hull2d.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace utk {
+
+namespace {
+
+// Cross product (b - a) x (c - a); > 0 for a counter-clockwise turn.
+Scalar Cross(const Vec& a, const Vec& b, const Vec& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+}  // namespace
+
+std::vector<int32_t> ConvexHull2D(const Dataset& data) {
+  std::vector<int32_t> pts;
+  pts.reserve(data.size());
+  for (const Record& r : data) {
+    assert(r.Dim() == 2);
+    pts.push_back(r.id);
+  }
+  std::sort(pts.begin(), pts.end(), [&](int32_t a, int32_t b) {
+    if (data[a].attrs[0] != data[b].attrs[0])
+      return data[a].attrs[0] < data[b].attrs[0];
+    return data[a].attrs[1] < data[b].attrs[1];
+  });
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [&](int32_t a, int32_t b) {
+                          return data[a].attrs == data[b].attrs;
+                        }),
+            pts.end());
+  const int n = static_cast<int>(pts.size());
+  if (n <= 2) return pts;
+
+  std::vector<int32_t> hull(2 * n);
+  int h = 0;
+  // Lower chain.
+  for (int i = 0; i < n; ++i) {
+    while (h >= 2 && Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
+                           data[pts[i]].attrs) <= kEps) {
+      --h;
+    }
+    hull[h++] = pts[i];
+  }
+  // Upper chain.
+  const int lower_end = h + 1;
+  for (int i = n - 2; i >= 0; --i) {
+    while (h >= lower_end &&
+           Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
+                 data[pts[i]].attrs) <= kEps) {
+      --h;
+    }
+    hull[h++] = pts[i];
+  }
+  hull.resize(h - 1);  // last point equals the first
+  return hull;
+}
+
+std::vector<int32_t> FirstQuadrantHull2D(const Dataset& data) {
+  std::vector<int32_t> hull = ConvexHull2D(data);
+  if (hull.size() <= 2) {
+    // Degenerate hull: keep the points that are not dominated.
+    std::vector<int32_t> out;
+    for (int32_t a : hull) {
+      bool dominated = false;
+      for (int32_t b : hull) {
+        if (a != b && data[b].attrs[0] >= data[a].attrs[0] &&
+            data[b].attrs[1] >= data[a].attrs[1] &&
+            data[b].attrs != data[a].attrs) {
+          dominated = true;
+        }
+      }
+      if (!dominated) out.push_back(a);
+    }
+    return out;
+  }
+  // Locate the max-x (tie: max-y) and max-y (tie: max-x) vertices.
+  auto better_x = [&](int32_t a, int32_t b) {
+    if (data[a].attrs[0] != data[b].attrs[0])
+      return data[a].attrs[0] > data[b].attrs[0];
+    return data[a].attrs[1] > data[b].attrs[1];
+  };
+  auto better_y = [&](int32_t a, int32_t b) {
+    if (data[a].attrs[1] != data[b].attrs[1])
+      return data[a].attrs[1] > data[b].attrs[1];
+    return data[a].attrs[0] > data[b].attrs[0];
+  };
+  int start = 0, stop = 0;
+  for (int i = 1; i < static_cast<int>(hull.size()); ++i) {
+    if (better_x(hull[i], hull[start])) start = i;
+    if (better_y(hull[i], hull[stop])) stop = i;
+  }
+  // Walk counter-clockwise from max-x to max-y.
+  std::vector<int32_t> out;
+  for (int i = start;; i = (i + 1) % static_cast<int>(hull.size())) {
+    out.push_back(hull[i]);
+    if (i == stop) break;
+  }
+  return out;
+}
+
+}  // namespace utk

@@ -1,0 +1,33 @@
+// 2D convex hull (Andrew's monotone chain — an O(n log n) equivalent of the
+// quickhull routine the paper's baseline uses [7]).
+//
+// For onion/top-1 purposes only the *upper-right* chain matters: the hull
+// facets whose outward normals lie in the first quadrant are exactly the
+// records that can rank first under some non-negative weight vector
+// (Section 3.3). This module provides both the full hull and that chain; it
+// also serves as an independent oracle for the LP-based onion-layer test in
+// d = 2 (see tests/test_hull2d.cc).
+#ifndef UTK_GEOMETRY_HULL2D_H_
+#define UTK_GEOMETRY_HULL2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// Full convex hull of 2D records, counter-clockwise, starting from the
+/// lexicographically smallest point. Collinear boundary points are dropped.
+/// Record ids are returned. Requires every record to have exactly 2 attrs.
+std::vector<int32_t> ConvexHull2D(const Dataset& data);
+
+/// The upper-right chain: hull vertices v with a supporting line of outward
+/// normal in the closed first quadrant (including the axis-extreme points).
+/// Equivalently: the maximal staircase of hull vertices from the max-x point
+/// to the max-y point, walking counter-clockwise.
+std::vector<int32_t> FirstQuadrantHull2D(const Dataset& data);
+
+}  // namespace utk
+
+#endif  // UTK_GEOMETRY_HULL2D_H_

@@ -1,0 +1,70 @@
+#include "geometry/linear.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace utk {
+
+Scalar Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Scalar s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Scalar Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+Halfspace Halfspace::Complement() const {
+  Halfspace c;
+  c.a.resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) c.a[i] = -a[i];
+  c.b = -b;
+  return c;
+}
+
+AffineScore MakeScore(const Record& p) {
+  const int d = p.Dim();
+  AffineScore s;
+  s.offset = p.attrs[d - 1];
+  s.coef.resize(d - 1);
+  for (int i = 0; i < d - 1; ++i) s.coef[i] = p.attrs[i] - p.attrs[d - 1];
+  return s;
+}
+
+Scalar Score(const Record& p, const Vec& w) {
+  const int d = p.Dim();
+  assert(static_cast<int>(w.size()) == d - 1);
+  Scalar s = p.attrs[d - 1];
+  for (int i = 0; i < d - 1; ++i) s += w[i] * (p.attrs[i] - p.attrs[d - 1]);
+  return s;
+}
+
+Vec LiftWeights(const Vec& w) {
+  Vec full(w.size() + 1);
+  Scalar sum = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    full[i] = w[i];
+    sum += w[i];
+  }
+  full[w.size()] = 1.0 - sum;
+  return full;
+}
+
+Halfspace BetterOrEqual(const Record& p, const Record& q) {
+  // S(p) >= S(q)  <=>  (coef_q - coef_p) . w <= offset_p - offset_q.
+  const AffineScore sp = MakeScore(p);
+  const AffineScore sq = MakeScore(q);
+  Halfspace h;
+  h.a.resize(sp.coef.size());
+  for (size_t i = 0; i < sp.coef.size(); ++i) h.a[i] = sq.coef[i] - sp.coef[i];
+  h.b = sp.offset - sq.offset;
+  return h;
+}
+
+bool IsTrivial(const Halfspace& h, Scalar eps) {
+  for (Scalar v : h.a)
+    if (std::fabs(v) > eps) return false;
+  return h.b >= -eps;
+}
+
+}  // namespace utk

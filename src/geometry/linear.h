@@ -1,0 +1,68 @@
+// Linear-algebra primitives for the preference domain.
+//
+// Scores are affine functions of the reduced weight vector (Section 3.1):
+//   S(p)(w) = x_d + sum_{i<d} w_i * (x_i - x_d).
+// Comparisons between two records therefore induce half-spaces in the
+// preference domain, which is the foundation of the refinement machinery in
+// RSA, JAA, and kSPR.
+#ifndef UTK_GEOMETRY_LINEAR_H_
+#define UTK_GEOMETRY_LINEAR_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// Dot product; vectors must have equal length.
+Scalar Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+Scalar Norm(const Vec& a);
+
+/// Closed half-space { w : a . w <= b } in the preference domain.
+struct Halfspace {
+  Vec a;
+  Scalar b = 0.0;
+
+  /// Signed slack b - a.w ; >= 0 inside the half-space.
+  Scalar Slack(const Vec& w) const { return b - Dot(a, w); }
+  bool Contains(const Vec& w, Scalar eps = kEps) const {
+    return Slack(w) >= -eps;
+  }
+  /// The complementary (open, here closed-with-eps) half-space a.w >= b.
+  Halfspace Complement() const;
+};
+
+/// An affine score function S(w) = offset + coef . w over the reduced
+/// preference domain.
+struct AffineScore {
+  Vec coef;
+  Scalar offset = 0.0;
+
+  Scalar Eval(const Vec& w) const { return offset + Dot(coef, w); }
+};
+
+/// Builds the reduced affine score of record p (data domain, d attributes)
+/// over the (d-1)-dimensional preference domain.
+AffineScore MakeScore(const Record& p);
+
+/// Evaluates S(p) directly for a reduced weight vector w (|w| = d-1).
+Scalar Score(const Record& p, const Vec& w);
+
+/// Lifts a reduced (d-1)-dimensional weight vector to the full d-dimensional
+/// vector with w_d = 1 - sum(w).
+Vec LiftWeights(const Vec& w);
+
+/// Half-space of the preference domain where S(p) >= S(q).
+/// Degenerate case: if p and q have identical reduced scores everywhere the
+/// half-space is the whole domain (a = 0, b = 0); callers treat zero-normal
+/// half-spaces as "always satisfied".
+Halfspace BetterOrEqual(const Record& p, const Record& q);
+
+/// True iff the half-space constrains nothing (zero normal, b >= -eps).
+bool IsTrivial(const Halfspace& h, Scalar eps = kEps);
+
+}  // namespace utk
+
+#endif  // UTK_GEOMETRY_LINEAR_H_

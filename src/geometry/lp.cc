@@ -1,0 +1,256 @@
+#include "geometry/lp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace utk {
+
+namespace {
+
+constexpr Scalar kPivotEps = 1e-10;
+
+thread_local int64_t g_lp_solves = 0;
+
+// Dense simplex tableau over the equality system  B z = rhs, z >= 0, with an
+// explicit basis. Maximizes obj . z. Rows are constraints, columns are
+// variables. Uses Bland's rule, so it terminates on degenerate problems.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols), a_(rows * (cols + 1), 0.0), basis_(rows, -1),
+        obj_(cols + 1, 0.0) {}
+
+  Scalar& At(int r, int c) { return a_[r * (cols_ + 1) + c]; }
+  Scalar& Rhs(int r) { return a_[r * (cols_ + 1) + cols_]; }
+  Scalar& Obj(int c) { return obj_[c]; }
+  Scalar& ObjValue() { return obj_[cols_]; }
+  void SetBasis(int r, int c) { basis_[r] = c; }
+  int BasisVar(int r) const { return basis_[r]; }
+
+  // Eliminates basic columns from the objective row (price out).
+  void PriceOut() {
+    for (int r = 0; r < rows_; ++r) {
+      const int bc = basis_[r];
+      const Scalar factor = obj_[bc];
+      if (std::fabs(factor) < kPivotEps) continue;
+      for (int c = 0; c <= cols_; ++c) obj_[c] -= factor * a_[r * (cols_ + 1) + c];
+    }
+  }
+
+  // Runs simplex iterations to optimality or unboundedness.
+  // Returns false on unbounded.
+  bool Optimize() {
+    for (;;) {
+      // Bland's rule: entering variable = smallest index with positive
+      // reduced profit (we maximize, so look for obj coefficient > eps).
+      int enter = -1;
+      for (int c = 0; c < cols_; ++c) {
+        if (obj_[c] > kPivotEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      // Ratio test, Bland tie-break on basis variable index.
+      int leave = -1;
+      Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
+      for (int r = 0; r < rows_; ++r) {
+        const Scalar coef = a_[r * (cols_ + 1) + enter];
+        if (coef > kPivotEps) {
+          const Scalar ratio = a_[r * (cols_ + 1) + cols_] / coef;
+          if (ratio < best_ratio - kPivotEps ||
+              (ratio < best_ratio + kPivotEps &&
+               (leave < 0 || basis_[r] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(int r, int c) {
+    const Scalar piv = At(r, c);
+    assert(std::fabs(piv) > kPivotEps);
+    const Scalar inv = 1.0 / piv;
+    for (int j = 0; j <= cols_; ++j) a_[r * (cols_ + 1) + j] *= inv;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == r) continue;
+      const Scalar f = a_[i * (cols_ + 1) + c];
+      if (std::fabs(f) < kPivotEps) continue;
+      for (int j = 0; j <= cols_; ++j)
+        a_[i * (cols_ + 1) + j] -= f * a_[r * (cols_ + 1) + j];
+    }
+    const Scalar f = obj_[c];
+    if (std::fabs(f) > kPivotEps)
+      for (int j = 0; j <= cols_; ++j) obj_[j] -= f * a_[r * (cols_ + 1) + j];
+    basis_[r] = c;
+  }
+
+  // Extracts the value of variable c from the current basic solution.
+  Scalar Value(int c) const {
+    for (int r = 0; r < rows_; ++r)
+      if (basis_[r] == c) return a_[r * (cols_ + 1) + cols_];
+    return 0.0;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int rows_, cols_;
+  std::vector<Scalar> a_;  // row-major, last column is rhs
+  std::vector<int> basis_;
+  std::vector<Scalar> obj_;
+};
+
+// Core solver: maximize c . x, A x <= b, x free.
+LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
+  ++g_lp_solves;
+  const int nv = static_cast<int>(c.size());
+
+  // Drop trivial constraints; detect trivially infeasible ones.
+  std::vector<const Halfspace*> cons;
+  cons.reserve(raw_cons.size());
+  for (const Halfspace& h : raw_cons) {
+    assert(static_cast<int>(h.a.size()) == nv);
+    bool zero = true;
+    for (Scalar v : h.a)
+      if (std::fabs(v) > kEps) {
+        zero = false;
+        break;
+      }
+    if (zero) {
+      if (h.b < -kEps) return {LpStatus::kInfeasible, {}, 0.0};
+      continue;
+    }
+    cons.push_back(&h);
+  }
+  const int m = static_cast<int>(cons.size());
+
+  // Variables: u (nv), v (nv), slack (m), artificial (count of negative rhs).
+  int n_art = 0;
+  for (const Halfspace* h : cons)
+    if (h->b < 0.0) ++n_art;
+  const int cols = 2 * nv + m + n_art;
+  Tableau t(m, cols);
+
+  int art = 2 * nv + m;
+  for (int r = 0; r < m; ++r) {
+    const Halfspace& h = *cons[r];
+    const Scalar sign = (h.b < 0.0) ? -1.0 : 1.0;
+    for (int j = 0; j < nv; ++j) {
+      t.At(r, j) = sign * h.a[j];
+      t.At(r, nv + j) = -sign * h.a[j];
+    }
+    t.At(r, 2 * nv + r) = sign;  // slack
+    t.Rhs(r) = sign * h.b;
+    if (h.b < 0.0) {
+      t.At(r, art) = 1.0;
+      t.SetBasis(r, art);
+      ++art;
+    } else {
+      t.SetBasis(r, 2 * nv + r);
+    }
+  }
+
+  if (n_art > 0) {
+    // Phase 1: maximize -(sum of artificials).
+    for (int a = 2 * nv + m; a < cols; ++a) t.Obj(a) = -1.0;
+    t.PriceOut();
+    const bool ok = t.Optimize();
+    (void)ok;  // phase 1 objective is bounded above by 0
+    // The objective row's rhs cell holds the *negated* objective value, so a
+    // positive residual means sum(artificials) > 0, i.e. infeasible.
+    if (t.ObjValue() > 1e-7) return {LpStatus::kInfeasible, {}, 0.0};
+    // Drive any artificial still in the basis out (degenerate); if it cannot
+    // be driven out its row is redundant and harmless because its value is 0.
+    for (int r = 0; r < m; ++r) {
+      if (t.BasisVar(r) >= 2 * nv + m) {
+        for (int cidx = 0; cidx < 2 * nv + m; ++cidx) {
+          if (std::fabs(t.At(r, cidx)) > 1e-7) {
+            t.Pivot(r, cidx);
+            break;
+          }
+        }
+      }
+    }
+    // Reset objective to phase 2. Artificials must never re-enter: give them
+    // a strongly negative reduced profit by excluding them (set obj 0 and rely
+    // on entering rule? not sufficient) -- instead zero their columns.
+    for (int r = 0; r < m; ++r)
+      for (int a2 = 2 * nv + m; a2 < cols; ++a2) t.At(r, a2) = 0.0;
+    for (int cidx = 0; cidx <= cols; ++cidx) t.Obj(cidx) = 0.0;
+  }
+
+  for (int j = 0; j < nv; ++j) {
+    t.Obj(j) = c[j];
+    t.Obj(nv + j) = -c[j];
+  }
+  t.PriceOut();
+  if (!t.Optimize()) return {LpStatus::kUnbounded, {}, 0.0};
+
+  LpResult res;
+  res.status = LpStatus::kOptimal;
+  res.x.resize(nv);
+  for (int j = 0; j < nv; ++j) res.x[j] = t.Value(j) - t.Value(nv + j);
+  // Recompute the objective from x for numerical cleanliness.
+  res.objective = Dot(c, res.x);
+  return res;
+}
+
+}  // namespace
+
+LpResult SolveLp(const Vec& c, const std::vector<Halfspace>& cons,
+                 bool maximize) {
+  if (maximize) return SolveCore(c, cons);
+  Vec neg(c.size());
+  for (size_t i = 0; i < c.size(); ++i) neg[i] = -c[i];
+  LpResult r = SolveCore(neg, cons);
+  r.objective = -r.objective;
+  return r;
+}
+
+std::optional<InteriorPoint> FindInteriorPoint(
+    const std::vector<Halfspace>& cons, Scalar radius_cap) {
+  const int nv = cons.empty() ? 0 : static_cast<int>(cons.front().a.size());
+  if (nv == 0) return std::nullopt;
+  // Variables: (x, t). Constraints: a_i.x + ||a_i|| t <= b_i ; t <= cap.
+  std::vector<Halfspace> aug;
+  aug.reserve(cons.size() + 1);
+  for (const Halfspace& h : cons) {
+    Halfspace g;
+    g.a = h.a;
+    g.a.push_back(Norm(h.a));
+    g.b = h.b;
+    aug.push_back(std::move(g));
+  }
+  Halfspace cap;
+  cap.a.assign(nv + 1, 0.0);
+  cap.a[nv] = 1.0;
+  cap.b = radius_cap;
+  aug.push_back(std::move(cap));
+
+  Vec obj(nv + 1, 0.0);
+  obj[nv] = 1.0;
+  LpResult r = SolveLp(obj, aug, /*maximize=*/true);
+  if (r.status != LpStatus::kOptimal) return std::nullopt;
+  InteriorPoint ip;
+  ip.radius = r.x[nv];
+  ip.x.assign(r.x.begin(), r.x.begin() + nv);
+  return ip;
+}
+
+bool HasInterior(const std::vector<Halfspace>& cons, Scalar min_radius) {
+  auto ip = FindInteriorPoint(cons);
+  return ip.has_value() && ip->radius > min_radius;
+}
+
+int64_t LpSolveCount() { return g_lp_solves; }
+void ResetLpSolveCount() { g_lp_solves = 0; }
+
+}  // namespace utk

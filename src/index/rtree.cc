@@ -1,0 +1,123 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace utk {
+
+void Mbb::Expand(const Vec& v) {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    lo[i] = std::min(lo[i], v[i]);
+    hi[i] = std::max(hi[i], v[i]);
+  }
+}
+
+void Mbb::Expand(const Mbb& other) {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    lo[i] = std::min(lo[i], other.lo[i]);
+    hi[i] = std::max(hi[i], other.hi[i]);
+  }
+}
+
+Mbb Mbb::Empty(int dim) {
+  Mbb m;
+  m.lo.assign(dim, std::numeric_limits<Scalar>::infinity());
+  m.hi.assign(dim, -std::numeric_limits<Scalar>::infinity());
+  return m;
+}
+
+namespace {
+
+// Recursively tiles `items` (indices into a coordinate accessor) into groups
+// of kFanout using STR: sort by dimension `dim`, slice into vertical slabs,
+// recurse on the next dimension within each slab.
+template <typename GetCoord>
+void StrTile(std::vector<int32_t>& items, int begin, int end, int dim,
+             int max_dim, int leaf_cap, const GetCoord& coord,
+             std::vector<std::pair<int, int>>& out_groups) {
+  const int n = end - begin;
+  if (n <= leaf_cap) {
+    out_groups.emplace_back(begin, end);
+    return;
+  }
+  std::sort(items.begin() + begin, items.begin() + end,
+            [&](int32_t a, int32_t b) { return coord(a, dim) < coord(b, dim); });
+  const int num_leaves = (n + leaf_cap - 1) / leaf_cap;
+  const int rem_dims = max_dim - dim;
+  if (rem_dims <= 1) {
+    for (int s = begin; s < end; s += leaf_cap)
+      out_groups.emplace_back(s, std::min(s + leaf_cap, end));
+    return;
+  }
+  const int num_slabs = static_cast<int>(
+      std::ceil(std::pow(static_cast<double>(num_leaves), 1.0 / rem_dims)));
+  const int slab_size = (n + num_slabs - 1) / num_slabs;
+  for (int s = begin; s < end; s += slab_size)
+    StrTile(items, s, std::min(s + slab_size, end), dim + 1, max_dim, leaf_cap,
+            coord, out_groups);
+}
+
+}  // namespace
+
+RTree RTree::BulkLoad(const Dataset& data) {
+  RTree tree;
+  if (data.empty()) return tree;
+  const int dim = DataDim(data);
+
+  // Level 0: pack records into leaves.
+  std::vector<int32_t> items(data.size());
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<std::pair<int, int>> groups;
+  auto rec_coord = [&](int32_t idx, int d2) { return data[idx].attrs[d2]; };
+  StrTile(items, 0, static_cast<int>(items.size()), 0, dim, kFanout, rec_coord,
+          groups);
+
+  std::vector<int32_t> level;
+  for (const auto& [b, e] : groups) {
+    RTreeNode node;
+    node.is_leaf = true;
+    node.mbb = Mbb::Empty(dim);
+    for (int i = b; i < e; ++i) {
+      node.record_ids.push_back(data[items[i]].id);
+      node.mbb.Expand(data[items[i]].attrs);
+    }
+    level.push_back(static_cast<int32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(std::move(node));
+  }
+  tree.height_ = 1;
+
+  // Upper levels: pack nodes by MBB center until a single root remains.
+  while (level.size() > 1) {
+    std::vector<int32_t> order(level.size());
+    std::iota(order.begin(), order.end(), 0);
+    auto node_coord = [&](int32_t idx, int d2) {
+      const Mbb& m = tree.nodes_[level[idx]].mbb;
+      return 0.5 * (m.lo[d2] + m.hi[d2]);
+    };
+    groups.clear();
+    StrTile(order, 0, static_cast<int>(order.size()), 0, dim, kFanout,
+            node_coord, groups);
+    std::vector<int32_t> next;
+    for (const auto& [b, e] : groups) {
+      RTreeNode node;
+      node.is_leaf = false;
+      node.mbb = Mbb::Empty(dim);
+      for (int i = b; i < e; ++i) {
+        const int32_t child = level[order[i]];
+        node.entries.push_back(child);
+        node.mbb.Expand(tree.nodes_[child].mbb);
+      }
+      next.push_back(static_cast<int32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(node));
+    }
+    level = std::move(next);
+    ++tree.height_;
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+}  // namespace utk

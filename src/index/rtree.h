@@ -1,0 +1,66 @@
+// In-memory R-tree over the data domain (Section 3.1: "we assume that D is
+// organized by a spatial index, such as an R-tree").
+//
+// The tree is bulk-loaded with Sort-Tile-Recursive (STR) packing, which
+// yields well-shaped rectangles for the branch-and-bound traversals used by
+// BBS-style skyband computation (Section 2) and its r-dominance adaptation
+// (Section 4.1).
+#ifndef UTK_INDEX_RTREE_H_
+#define UTK_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace utk {
+
+/// Axis-parallel minimum bounding box in the data domain.
+struct Mbb {
+  Vec lo, hi;
+
+  /// The top corner (maximum value in all dimensions), which represents the
+  /// node in dominance / score upper-bound tests (Section 2).
+  const Vec& TopCorner() const { return hi; }
+
+  /// Extends this box to cover `v`.
+  void Expand(const Vec& v);
+  /// Extends this box to cover `other`.
+  void Expand(const Mbb& other);
+
+  static Mbb Empty(int dim);
+};
+
+/// R-tree node. Leaves hold record ids; internal nodes hold child node ids.
+struct RTreeNode {
+  Mbb mbb;
+  bool is_leaf = false;
+  std::vector<int32_t> entries;      ///< child node ids (internal)
+  std::vector<int32_t> record_ids;   ///< record ids (leaf)
+};
+
+class RTree {
+ public:
+  /// Maximum entries per node.
+  static constexpr int kFanout = 32;
+
+  RTree() = default;
+
+  /// STR bulk load over the dataset. Records keep their ids.
+  static RTree BulkLoad(const Dataset& data);
+
+  bool empty() const { return nodes_.empty(); }
+  int32_t root() const { return root_; }
+  const RTreeNode& node(int32_t id) const { return nodes_[id]; }
+  int height() const { return height_; }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  std::vector<RTreeNode> nodes_;
+  int32_t root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace utk
+
+#endif  // UTK_INDEX_RTREE_H_

@@ -1,0 +1,20 @@
+#include "skyline/dominance.h"
+
+namespace utk {
+
+bool Dominates(const Vec& a, const Vec& b, Scalar eps) {
+  bool strict = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - eps) return false;
+    if (a[i] > b[i] + eps) strict = true;
+  }
+  return strict;
+}
+
+bool WeaklyDominates(const Vec& a, const Vec& b, Scalar eps) {
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] < b[i] - eps) return false;
+  return true;
+}
+
+}  // namespace utk

@@ -1,0 +1,35 @@
+#include "skyline/graph.h"
+
+#include <cassert>
+
+namespace utk {
+
+RDominanceGraph RDominanceGraph::Build(const RSkybandResult& band) {
+  RDominanceGraph g;
+  g.n_ = static_cast<int>(band.ids.size());
+  g.parents_.resize(g.n_);
+  g.children_.resize(g.n_);
+  g.ancestors_.assign(g.n_, Bitset(g.n_));
+  g.descendants_.assign(g.n_, Bitset(g.n_));
+  g.active_ = Bitset(g.n_);
+
+  for (int i = 0; i < g.n_; ++i) {
+    g.active_.Set(i);
+    for (int p : band.dominators[i]) {
+      assert(p < i && "dominators must be confirmed before their dominees");
+      g.parents_[i].push_back(p);
+      g.children_[p].push_back(i);
+      g.ancestors_[i].Set(p);
+      g.ancestors_[i].UnionWith(g.ancestors_[p]);
+    }
+  }
+  for (int i = g.n_ - 1; i >= 0; --i) {
+    for (int c : g.children_[i]) {
+      g.descendants_[i].Set(c);
+      g.descendants_[i].UnionWith(g.descendants_[c]);
+    }
+  }
+  return g;
+}
+
+}  // namespace utk

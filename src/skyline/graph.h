@@ -1,0 +1,59 @@
+// The r-dominance graph G (Section 4.1): a DAG over r-skyband candidates
+// where an arc p -> p' records that p r-dominates p'.
+//
+// Nodes are candidate indices (positions in RSkybandResult::ids). Because
+// BBS confirms records in decreasing pivot-score order, every arc points
+// from a smaller index to a larger one, i.e. insertion order is a
+// topological order — which makes ancestor/descendant bitsets one linear
+// pass each. RSA removes disqualified candidates from the graph; queries
+// against the graph always intersect with the active-node mask.
+#ifndef UTK_SKYLINE_GRAPH_H_
+#define UTK_SKYLINE_GRAPH_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/types.h"
+#include "skyline/rskyband.h"
+
+namespace utk {
+
+class RDominanceGraph {
+ public:
+  /// Builds the graph from the filtering-step output.
+  static RDominanceGraph Build(const RSkybandResult& band);
+
+  int size() const { return n_; }
+
+  /// Direct arcs discovered during filtering (may include transitively
+  /// implied arcs; they are harmless and deduplicated at traversal time).
+  const std::vector<int>& Parents(int i) const { return parents_[i]; }
+  const std::vector<int>& Children(int i) const { return children_[i]; }
+
+  /// All (transitive) r-dominators of node i, as a bitset over nodes.
+  const Bitset& Ancestors(int i) const { return ancestors_[i]; }
+  /// All (transitive) r-dominees of node i.
+  const Bitset& Descendants(int i) const { return descendants_[i]; }
+
+  /// Nodes not removed by RSA disqualification.
+  const Bitset& Active() const { return active_; }
+  bool IsActive(int i) const { return active_.Test(i); }
+  void Remove(int i) { active_.Reset(i); }
+
+  /// r-dominance count of node i among active nodes, ignoring `ignored`.
+  int DomCount(int i, const Bitset& ignored) const {
+    return ancestors_[i].CountAndAndNot(active_, ignored);
+  }
+  /// r-dominance count among active nodes only.
+  int DomCount(int i) const { return ancestors_[i].CountAnd(active_); }
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<int>> parents_, children_;
+  std::vector<Bitset> ancestors_, descendants_;
+  Bitset active_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_SKYLINE_GRAPH_H_

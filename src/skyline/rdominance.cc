@@ -1,0 +1,50 @@
+#include "skyline/rdominance.h"
+
+#include <cassert>
+
+#include "geometry/linear.h"
+
+namespace utk {
+
+namespace {
+
+// Reduced coefficients of f(w) = S(p)(w) - S(q)(w).
+void DiffScore(const Vec& p, const Vec& q, Vec* coef, Scalar* offset) {
+  const int d = static_cast<int>(p.size());
+  coef->resize(d - 1);
+  *offset = p[d - 1] - q[d - 1];
+  for (int i = 0; i < d - 1; ++i)
+    (*coef)[i] = (p[i] - p[d - 1]) - (q[i] - q[d - 1]);
+}
+
+}  // namespace
+
+RDom RDominance(const Record& p, const Record& q, const ConvexRegion& r,
+                QueryStats* stats) {
+  if (stats != nullptr) ++stats->rdom_tests;
+  Vec coef;
+  Scalar offset;
+  DiffScore(p.attrs, q.attrs, &coef, &offset);
+  auto range = r.RangeOf(coef, offset);
+  assert(range.has_value() && "r-dominance test over an empty region");
+  const auto [lo, hi] = *range;
+  if (lo >= -kEps && hi > kEps) return RDom::kDominates;
+  if (hi <= kEps && lo < -kEps) return RDom::kDominatedBy;
+  if (lo >= -kEps && hi <= kEps) return RDom::kEqual;
+  return RDom::kIncomparable;
+}
+
+bool RDominatesCorner(const Record& q, const Vec& corner,
+                      const ConvexRegion& r, QueryStats* stats) {
+  if (stats != nullptr) ++stats->rdom_tests;
+  Vec coef;
+  Scalar offset;
+  DiffScore(q.attrs, corner, &coef, &offset);
+  auto range = r.RangeOf(coef, offset);
+  assert(range.has_value());
+  // q r-dominates the corner when S(q) >= S(corner) everywhere in R with a
+  // strict gap somewhere.
+  return range->first >= -kEps && range->second > kEps;
+}
+
+}  // namespace utk

@@ -1,0 +1,107 @@
+#include "skyline/rskyband.h"
+
+#include <cassert>
+#include <queue>
+
+#include "geometry/linear.h"
+#include "skyline/rdominance.h"
+
+namespace utk {
+
+namespace {
+
+struct HeapEntry {
+  Scalar key;
+  bool is_record;
+  int32_t id;
+  bool operator<(const HeapEntry& o) const { return key < o.key; }
+};
+
+Scalar CornerScore(const Vec& corner, const Vec& pivot) {
+  Record tmp;
+  tmp.attrs = corner;
+  return Score(tmp, pivot);
+}
+
+}  // namespace
+
+RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
+                               const ConvexRegion& r, int k,
+                               QueryStats* stats) {
+  RSkybandResult result;
+  auto pivot = r.Pivot();
+  assert(pivot.has_value() && "query region has empty interior");
+  result.pivot = *pivot;
+  if (tree.empty()) return result;
+
+  std::priority_queue<HeapEntry> heap;
+  heap.push({CornerScore(tree.node(tree.root()).mbb.TopCorner(), result.pivot),
+             false, tree.root()});
+
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    heap.pop();
+    if (stats != nullptr) ++stats->heap_pops;
+    if (e.is_record) {
+      // Collect all confirmed members that r-dominate this record; keep it
+      // if there are fewer than k.
+      std::vector<int> doms;
+      bool pruned = false;
+      for (size_t i = 0; i < result.ids.size(); ++i) {
+        if (RDominance(data[result.ids[i]], data[e.id], r, stats) ==
+            RDom::kDominates) {
+          doms.push_back(static_cast<int>(i));
+          if (static_cast<int>(doms.size()) >= k) {
+            pruned = true;
+            break;
+          }
+        }
+      }
+      if (!pruned) {
+        result.ids.push_back(e.id);
+        result.dominators.push_back(std::move(doms));
+      }
+    } else {
+      const RTreeNode& node = tree.node(e.id);
+      // Prune the subtree if k members r-dominate its optimistic top corner.
+      int count = 0;
+      bool pruned = false;
+      for (int32_t cid : result.ids) {
+        if (RDominatesCorner(data[cid], node.mbb.TopCorner(), r, stats) &&
+            ++count >= k) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      if (node.is_leaf) {
+        for (int32_t rid : node.record_ids)
+          heap.push({Score(data[rid], result.pivot), true, rid});
+      } else {
+        for (int32_t child : node.entries)
+          heap.push({CornerScore(tree.node(child).mbb.TopCorner(),
+                                 result.pivot),
+                     false, child});
+      }
+    }
+  }
+  if (stats != nullptr)
+    stats->candidates = static_cast<int64_t>(result.ids.size());
+  return result;
+}
+
+std::vector<int32_t> RSkybandBruteForce(const Dataset& data,
+                                        const ConvexRegion& r, int k) {
+  std::vector<int32_t> band;
+  for (const Record& p : data) {
+    int count = 0;
+    for (const Record& q : data) {
+      if (q.id == p.id) continue;
+      if (RDominance(q, p, r) == RDom::kDominates) ++count;
+    }
+    if (count < k) band.push_back(p.id);
+  }
+  return band;
+}
+
+}  // namespace utk

@@ -1,0 +1,47 @@
+// r-skyband computation (Section 4.1): the filtering step shared by RSA and
+// JAA. Adapted BBS over the R-tree with
+//   * r-dominance instead of classic dominance, and
+//   * a max-heap keyed by score at the pivot vector of R, which guides the
+//     search to likely r-skyband members first.
+//
+// Correctness of the popping order: records come off the heap in decreasing
+// pivot score. If q r-dominated an earlier-popped p, then S(q) >= S(p) on all
+// of R with equality at the interior pivot, which forces S(q) == S(p) on all
+// of R (an affine function that is non-negative on R and zero at an interior
+// point is identically zero) — i.e. q does not r-dominate p. Hence all
+// r-dominators of a record are already confirmed when it pops, which is also
+// how the r-dominance graph is obtained for free.
+#ifndef UTK_SKYLINE_RSKYBAND_H_
+#define UTK_SKYLINE_RSKYBAND_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "geometry/region.h"
+#include "index/rtree.h"
+
+namespace utk {
+
+/// Output of the filtering step.
+struct RSkybandResult {
+  /// Record ids of r-skyband members, in decreasing pivot-score order.
+  std::vector<int32_t> ids;
+  /// dominators[i] = indices (into `ids`) of members that r-dominate ids[i].
+  std::vector<std::vector<int>> dominators;
+  /// The pivot vector of R used as the heap key.
+  Vec pivot;
+};
+
+/// Computes the r-skyband of `data` w.r.t. region `r` and parameter `k`.
+RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
+                               const ConvexRegion& r, int k,
+                               QueryStats* stats = nullptr);
+
+/// Brute-force oracle (O(n^2) r-dominance tests), for tests.
+std::vector<int32_t> RSkybandBruteForce(const Dataset& data,
+                                        const ConvexRegion& r, int k);
+
+}  // namespace utk
+
+#endif  // UTK_SKYLINE_RSKYBAND_H_

@@ -1,0 +1,78 @@
+#include "skyline/skyband.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "skyline/dominance.h"
+
+namespace utk {
+
+namespace {
+
+struct HeapEntry {
+  Scalar key;
+  bool is_record;
+  int32_t id;  // record id or node id
+  bool operator<(const HeapEntry& o) const { return key < o.key; }
+};
+
+Scalar SumCoords(const Vec& v) {
+  return std::accumulate(v.begin(), v.end(), Scalar{0});
+}
+
+}  // namespace
+
+std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
+                              QueryStats* stats) {
+  std::vector<int32_t> band;
+  if (tree.empty()) return band;
+
+  std::priority_queue<HeapEntry> heap;
+  heap.push({SumCoords(tree.node(tree.root()).mbb.TopCorner()), false,
+             tree.root()});
+
+  auto dominated_count_reaches_k = [&](const Vec& v) {
+    int count = 0;
+    for (int32_t id : band) {
+      if (Dominates(data[id].attrs, v) && ++count >= k) return true;
+    }
+    return false;
+  };
+
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    heap.pop();
+    if (stats != nullptr) ++stats->heap_pops;
+    if (e.is_record) {
+      if (!dominated_count_reaches_k(data[e.id].attrs)) band.push_back(e.id);
+    } else {
+      const RTreeNode& node = tree.node(e.id);
+      if (dominated_count_reaches_k(node.mbb.TopCorner())) continue;
+      if (node.is_leaf) {
+        for (int32_t rid : node.record_ids)
+          heap.push({SumCoords(data[rid].attrs), true, rid});
+      } else {
+        for (int32_t child : node.entries)
+          heap.push({SumCoords(tree.node(child).mbb.TopCorner()), false,
+                     child});
+      }
+    }
+  }
+  return band;
+}
+
+std::vector<int32_t> KSkybandBruteForce(const Dataset& data, int k) {
+  std::vector<int32_t> band;
+  for (const Record& p : data) {
+    int count = 0;
+    for (const Record& q : data) {
+      if (q.id == p.id) continue;
+      if (Dominates(q.attrs, p.attrs)) ++count;
+    }
+    if (count < k) band.push_back(p.id);
+  }
+  return band;
+}
+
+}  // namespace utk

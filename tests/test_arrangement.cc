@@ -1,0 +1,220 @@
+#include "arrangement/arrangement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace utk {
+namespace {
+
+Halfspace Hs(Vec a, Scalar b) {
+  Halfspace h;
+  h.a = std::move(a);
+  h.b = b;
+  return h;
+}
+
+ConvexRegion UnitBox() { return ConvexRegion::FromBox({0.0, 0.0}, {0.4, 0.4}); }
+
+TEST(Arrangement, StartsWithOneCell) {
+  CellArrangement arr(UnitBox());
+  EXPECT_EQ(arr.cells().size(), 1u);
+  EXPECT_EQ(arr.MinCount(), 0);
+}
+
+TEST(Arrangement, SplitByDiagonal) {
+  CellArrangement arr(UnitBox());
+  arr.Insert(7, Hs({1.0, 1.0}, 0.4));  // w1 + w2 <= 0.4 cuts the box corner
+  ASSERT_EQ(arr.cells().size(), 2u);
+  // One cell covered by half-space 7, one not.
+  int covered = 0;
+  for (const Cell& c : arr.cells()) {
+    if (c.Count() == 1) {
+      ++covered;
+      EXPECT_EQ(c.covering[0], 7);
+    }
+  }
+  EXPECT_EQ(covered, 1);
+}
+
+TEST(Arrangement, NonCrossingHalfspaceJustCounts) {
+  CellArrangement arr(UnitBox());
+  arr.Insert(1, Hs({1.0, 0.0}, 10.0));  // w1 <= 10 covers everything
+  EXPECT_EQ(arr.cells().size(), 1u);
+  EXPECT_EQ(arr.cells()[0].Count(), 1);
+  arr.Insert(2, Hs({1.0, 0.0}, -1.0));  // w1 <= -1 misses everything
+  EXPECT_EQ(arr.cells().size(), 1u);
+  EXPECT_EQ(arr.cells()[0].Count(), 1);
+}
+
+TEST(Arrangement, TrivialZeroNormalHalfspace) {
+  CellArrangement arr(UnitBox());
+  arr.Insert(3, Hs({0.0, 0.0}, 1.0));  // always true
+  EXPECT_EQ(arr.cells().size(), 1u);
+  EXPECT_EQ(arr.cells()[0].Count(), 1);
+  arr.Insert(4, Hs({0.0, 0.0}, -1.0));  // never true
+  EXPECT_EQ(arr.cells()[0].Count(), 1);
+}
+
+TEST(Arrangement, TwoCrossingLinesMakeFourCells) {
+  CellArrangement arr(UnitBox());
+  arr.Insert(0, Hs({1.0, 0.0}, 0.2));   // w1 <= 0.2
+  arr.Insert(1, Hs({0.0, 1.0}, 0.2));   // w2 <= 0.2
+  EXPECT_EQ(arr.cells().size(), 4u);
+  std::vector<int> counts;
+  for (const Cell& c : arr.cells()) counts.push_back(c.Count());
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(Arrangement, CountsMatchPointwiseEvaluation) {
+  // Property: the covering count of the cell containing a sample point must
+  // equal the number of inserted half-spaces containing that point.
+  Rng rng(12);
+  CellArrangement arr(UnitBox());
+  std::vector<Halfspace> inserted;
+  for (int i = 0; i < 6; ++i) {
+    Halfspace h = Hs({rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                     rng.Uniform(-0.3, 0.6));
+    inserted.push_back(h);
+    arr.Insert(i, h);
+  }
+  for (int t = 0; t < 300; ++t) {
+    Vec w = {rng.Uniform(0.0, 0.4), rng.Uniform(0.0, 0.4)};
+    const int cell = arr.Locate(w);
+    ASSERT_GE(cell, 0);
+    int expect = 0;
+    for (const Halfspace& h : inserted)
+      if (h.Contains(w)) ++expect;
+    // Boundary-adjacent samples may disagree by the eps policy; skip points
+    // within 1e-6 of any hyperplane.
+    bool near_boundary = false;
+    for (const Halfspace& h : inserted)
+      if (std::abs(h.Slack(w)) < 1e-6) near_boundary = true;
+    if (!near_boundary) {
+      EXPECT_EQ(arr.cells()[cell].Count(), expect) << "at sample " << t;
+    }
+  }
+}
+
+TEST(Arrangement, CellsCoverRegionAndAreDisjoint) {
+  Rng rng(13);
+  CellArrangement arr(UnitBox());
+  for (int i = 0; i < 5; ++i)
+    arr.Insert(i, Hs({rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                     rng.Uniform(-0.2, 0.5)));
+  for (int t = 0; t < 200; ++t) {
+    Vec w = {rng.Uniform(0.0, 0.4), rng.Uniform(0.0, 0.4)};
+    int owners = 0;
+    for (const Cell& c : arr.cells()) {
+      bool inside = true;
+      for (const Halfspace& h : c.bounds)
+        if (h.Slack(w) < -1e-7) {
+          inside = false;
+          break;
+        }
+      if (inside) ++owners;
+    }
+    // Interior points belong to exactly one cell; boundary points to more.
+    EXPECT_GE(owners, 1);
+  }
+}
+
+TEST(Arrangement, FreezeThresholdStopsSplitting) {
+  CellArrangement arr(UnitBox());
+  arr.set_freeze_threshold(1);
+  arr.Insert(0, Hs({1.0, 0.0}, 0.2));  // split: cells {inside, outside}
+  ASSERT_EQ(arr.cells().size(), 2u);
+  // Inserting another crossing half-space must not split the frozen cell.
+  arr.Insert(1, Hs({0.0, 1.0}, 0.2));
+  // The covered (frozen) cell stays whole: 3 cells instead of 4.
+  EXPECT_EQ(arr.cells().size(), 3u);
+  EXPECT_TRUE(std::any_of(arr.cells().begin(), arr.cells().end(),
+                          [](const Cell& c) { return c.frozen; }));
+}
+
+TEST(Arrangement, AllFrozenDetection) {
+  CellArrangement arr(UnitBox());
+  arr.set_freeze_threshold(1);
+  EXPECT_FALSE(arr.AllFrozen());
+  arr.Insert(0, Hs({1.0, 0.0}, 10.0));  // covers everything -> count 1
+  EXPECT_TRUE(arr.AllFrozen());
+}
+
+TEST(Arrangement, InteriorPointsValid) {
+  Rng rng(14);
+  CellArrangement arr(UnitBox());
+  for (int i = 0; i < 7; ++i)
+    arr.Insert(i, Hs({rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                     rng.Uniform(-0.2, 0.5)));
+  for (const Cell& c : arr.cells()) {
+    for (const Halfspace& h : c.bounds) {
+      EXPECT_GE(h.Slack(c.interior), -kEps) << "interior point outside cell";
+    }
+    EXPECT_GT(c.radius, 0.0);
+  }
+}
+
+TEST(Arrangement, StatsPlumbing) {
+  QueryStats stats;
+  CellArrangement arr(UnitBox(), &stats);
+  arr.Insert(0, Hs({1.0, 0.0}, 0.2));
+  arr.Insert(1, Hs({0.0, 1.0}, 0.2));
+  EXPECT_EQ(stats.halfspaces_inserted, 2);
+  EXPECT_EQ(stats.cells_created, 4);  // 1 base + 3 splits
+  EXPECT_GT(stats.lp_calls, 0);
+  EXPECT_GT(stats.peak_bytes, 0);
+  EXPECT_GT(arr.MemoryBytes(), 0);
+}
+
+TEST(Arrangement, LocateOutsideRegion) {
+  CellArrangement arr(UnitBox());
+  EXPECT_EQ(arr.Locate({0.9, 0.9}), -1);
+}
+
+class Arrangement3dParamTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(Arrangement3dParamTest, CountsMatchPointwiseIn3d) {
+  const auto [num_hs, seed] = GetParam();
+  Rng rng(seed);
+  ConvexRegion base =
+      ConvexRegion::FromBox({0.05, 0.05, 0.05}, {0.3, 0.3, 0.3});
+  CellArrangement arr(base);
+  std::vector<Halfspace> inserted;
+  for (int i = 0; i < num_hs; ++i) {
+    Halfspace h = Hs({rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                      rng.Uniform(-1, 1)},
+                     rng.Uniform(-0.1, 0.3));
+    inserted.push_back(h);
+    arr.Insert(i, h);
+  }
+  int checked = 0;
+  for (int t = 0; t < 150; ++t) {
+    Vec w = {rng.Uniform(0.05, 0.3), rng.Uniform(0.05, 0.3),
+             rng.Uniform(0.05, 0.3)};
+    bool near_boundary = false;
+    int expect = 0;
+    for (const Halfspace& h : inserted) {
+      if (std::abs(h.Slack(w)) < 1e-6) near_boundary = true;
+      if (h.Contains(w)) ++expect;
+    }
+    if (near_boundary) continue;
+    const int cell = arr.Locate(w);
+    ASSERT_GE(cell, 0);
+    EXPECT_EQ(arr.cells()[cell].Count(), expect) << "sample " << t;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Arrangement3dParamTest,
+                         ::testing::Combine(::testing::Values(3, 8, 14),
+                                            ::testing::Values(uint64_t{1},
+                                                              uint64_t{2},
+                                                              uint64_t{3})));
+
+}  // namespace
+}  // namespace utk

@@ -1,0 +1,93 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace utk {
+namespace {
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(130);
+  EXPECT_EQ(b.Count(), 0);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3);
+}
+
+TEST(Bitset, UnionSubtractIntersect) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(2);
+  Bitset u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 4);
+  Bitset s = a;
+  s.SubtractWith(b);
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_TRUE(s.Test(1));
+  EXPECT_FALSE(s.Test(50));
+  Bitset i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1);
+  EXPECT_TRUE(i.Test(50));
+}
+
+TEST(Bitset, CountAndNotVariants) {
+  Bitset a(200), keep(200), minus(200);
+  for (int i = 0; i < 200; i += 3) a.Set(i);
+  for (int i = 0; i < 200; i += 2) keep.Set(i);
+  for (int i = 0; i < 200; i += 6) minus.Set(i);
+  int expect_and = 0, expect_andandnot = 0, expect_andnot = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool in_a = i % 3 == 0, in_k = i % 2 == 0, in_m = i % 6 == 0;
+    if (in_a && in_k) ++expect_and;
+    if (in_a && in_k && !in_m) ++expect_andandnot;
+    if (in_a && !in_m) ++expect_andnot;
+  }
+  EXPECT_EQ(a.CountAnd(keep), expect_and);
+  EXPECT_EQ(a.CountAndAndNot(keep, minus), expect_andandnot);
+  EXPECT_EQ(a.CountAndNot(minus), expect_andnot);
+}
+
+TEST(Bitset, Intersects) {
+  Bitset a(70), b(70);
+  a.Set(69);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(69);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  Bitset a(150);
+  std::set<int> want = {0, 5, 63, 64, 65, 127, 128, 149};
+  for (int i : want) a.Set(i);
+  std::vector<int> got;
+  a.ForEach([&](int i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<int>(want.begin(), want.end()));
+}
+
+TEST(Bitset, ClearAndEquality) {
+  Bitset a(64), b(64);
+  a.Set(10);
+  EXPECT_FALSE(a == b);
+  a.Clear();
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace utk

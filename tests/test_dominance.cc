@@ -1,0 +1,69 @@
+#include "skyline/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "geometry/linear.h"
+
+namespace utk {
+namespace {
+
+TEST(Dominance, Basic) {
+  EXPECT_TRUE(Dominates({2.0, 2.0}, {1.0, 1.0}));
+  EXPECT_TRUE(Dominates({2.0, 1.0}, {1.0, 1.0}));
+  EXPECT_FALSE(Dominates({2.0, 0.5}, {1.0, 1.0}));
+  EXPECT_FALSE(Dominates({1.0, 1.0}, {1.0, 1.0}));  // coincident
+}
+
+TEST(Dominance, WeakAllowsEquality) {
+  EXPECT_TRUE(WeaklyDominates({1.0, 1.0}, {1.0, 1.0}));
+  EXPECT_TRUE(WeaklyDominates({1.0, 2.0}, {1.0, 1.0}));
+  EXPECT_FALSE(WeaklyDominates({0.9, 2.0}, {1.0, 1.0}));
+}
+
+TEST(Dominance, Antisymmetric) {
+  Rng rng(17);
+  for (int t = 0; t < 200; ++t) {
+    Vec a(3), b(3);
+    for (int i = 0; i < 3; ++i) {
+      a[i] = rng.Uniform();
+      b[i] = rng.Uniform();
+    }
+    EXPECT_FALSE(Dominates(a, b) && Dominates(b, a));
+  }
+}
+
+TEST(Dominance, ImpliesScoreOrderEverywhere) {
+  // If a dominates b, a's score is >= b's for every weight vector.
+  Rng rng(18);
+  Dataset data = Generate(Distribution::kIndependent, 60, 4, 7);
+  int checked = 0;
+  for (const Record& a : data) {
+    for (const Record& b : data) {
+      if (!Dominates(a.attrs, b.attrs)) continue;
+      ++checked;
+      for (int t = 0; t < 10; ++t) {
+        Vec w = {rng.Uniform(0, 0.4), rng.Uniform(0, 0.3),
+                 rng.Uniform(0, 0.3)};
+        EXPECT_GE(Score(a, w), Score(b, w) - kEps);
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Dominance, Transitive) {
+  Rng rng(19);
+  Dataset data = Generate(Distribution::kCorrelated, 40, 3, 8);
+  for (const Record& a : data)
+    for (const Record& b : data)
+      for (const Record& c : data) {
+        if (Dominates(a.attrs, b.attrs) && Dominates(b.attrs, c.attrs)) {
+          EXPECT_TRUE(Dominates(a.attrs, c.attrs));
+        }
+      }
+}
+
+}  // namespace
+}  // namespace utk

@@ -1,0 +1,98 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generator.h"
+
+namespace utk {
+namespace {
+
+TEST(Io, RoundTrip) {
+  Dataset data = Generate(Distribution::kIndependent, 50, 4, 1);
+  std::stringstream ss;
+  SaveCsv(data, ss);
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, static_cast<int32_t>(i));
+    ASSERT_EQ((*loaded)[i].attrs.size(), data[i].attrs.size());
+    for (size_t d = 0; d < data[i].attrs.size(); ++d)
+      EXPECT_NEAR((*loaded)[i].attrs[d], data[i].attrs[d], 1e-5);
+  }
+}
+
+TEST(Io, HeaderDetected) {
+  std::stringstream ss("svc,cln,loc\n8.3,9.1,7.2\n2.4,9.6,8.6\n");
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_NEAR((*loaded)[0].attrs[0], 8.3, 1e-12);
+  EXPECT_NEAR((*loaded)[1].attrs[2], 8.6, 1e-12);
+}
+
+TEST(Io, HeaderWrittenAndRead) {
+  Dataset data = Generate(Distribution::kCorrelated, 10, 3, 2);
+  std::stringstream ss;
+  SaveCsv(data, ss, "a,b,c");
+  EXPECT_EQ(ss.str().substr(0, 6), "a,b,c\n");
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 10u);
+}
+
+TEST(Io, BlankLinesSkipped) {
+  std::stringstream ss("\n1,2\n\n3,4\n   \n");
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(Io, RaggedRowsRejected) {
+  std::stringstream ss("1,2,3\n4,5\n");
+  EXPECT_FALSE(LoadCsv(ss).has_value());
+}
+
+TEST(Io, NonNumericDataRowRejected) {
+  std::stringstream ss("1,2\nfoo,bar\n");
+  EXPECT_FALSE(LoadCsv(ss).has_value());
+}
+
+TEST(Io, EmptyInputRejected) {
+  std::stringstream ss("");
+  EXPECT_FALSE(LoadCsv(ss).has_value());
+  std::stringstream only_header("a,b,c\n");
+  EXPECT_FALSE(LoadCsv(only_header).has_value());
+}
+
+TEST(Io, WindowsLineEndings) {
+  std::stringstream ss("1,2\r\n3,4\r\n");
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_NEAR((*loaded)[1].attrs[1], 4.0, 1e-12);
+}
+
+TEST(Io, FileRoundTrip) {
+  Dataset data = Generate(Distribution::kAnticorrelated, 20, 3, 3);
+  const std::string path = "/tmp/utk_io_test.csv";
+  ASSERT_TRUE(SaveCsvFile(data, path, "x,y,z"));
+  auto loaded = LoadCsvFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 20u);
+  EXPECT_FALSE(LoadCsvFile("/nonexistent/dir/file.csv").has_value());
+}
+
+TEST(Io, ScientificNotation) {
+  std::stringstream ss("1e-3,2.5E2\n-1.25e0,0\n");
+  auto loaded = LoadCsv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_NEAR((*loaded)[0].attrs[0], 0.001, 1e-12);
+  EXPECT_NEAR((*loaded)[0].attrs[1], 250.0, 1e-12);
+  EXPECT_NEAR((*loaded)[1].attrs[0], -1.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace utk

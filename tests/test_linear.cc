@@ -1,0 +1,94 @@
+#include "geometry/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace utk {
+namespace {
+
+Record MakeRecord(int id, Vec attrs) {
+  Record r;
+  r.id = id;
+  r.attrs = std::move(attrs);
+  return r;
+}
+
+TEST(Linear, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({0.0, 0.0}), 0.0);
+}
+
+TEST(Linear, ReducedScoreMatchesFullWeights) {
+  // S(p) = w1*x1 + w2*x2 + (1-w1-w2)*x3 must equal the reduced evaluation.
+  const Record p = MakeRecord(0, {8.3, 9.1, 7.2});
+  const Vec w = {0.3, 0.5};
+  const Scalar full = 0.3 * 8.3 + 0.5 * 9.1 + 0.2 * 7.2;
+  EXPECT_NEAR(Score(p, w), full, 1e-12);
+  EXPECT_NEAR(MakeScore(p).Eval(w), full, 1e-12);
+}
+
+TEST(Linear, ScoreAtSimplexCorners) {
+  const Record p = MakeRecord(0, {1.0, 2.0, 3.0});
+  // w = (1, 0): pure weight on x1.
+  EXPECT_NEAR(Score(p, {1.0, 0.0}), 1.0, 1e-12);
+  // w = (0, 1): pure weight on x2.
+  EXPECT_NEAR(Score(p, {0.0, 1.0}), 2.0, 1e-12);
+  // w = (0, 0): all weight on the dropped dimension x3.
+  EXPECT_NEAR(Score(p, {0.0, 0.0}), 3.0, 1e-12);
+}
+
+TEST(Linear, LiftWeights) {
+  const Vec full = LiftWeights({0.3, 0.5});
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_NEAR(full[0], 0.3, 1e-12);
+  EXPECT_NEAR(full[1], 0.5, 1e-12);
+  EXPECT_NEAR(full[2], 0.2, 1e-12);
+}
+
+TEST(Linear, BetterOrEqualHalfspaceBoundary) {
+  const Record p = MakeRecord(0, {2.0, 0.0, 1.0});
+  const Record q = MakeRecord(1, {0.0, 2.0, 1.0});
+  const Halfspace h = BetterOrEqual(p, q);
+  // Scores are equal at w1 == w2, p wins when w1 > w2.
+  EXPECT_TRUE(h.Contains({0.6, 0.2}));
+  EXPECT_FALSE(h.Contains({0.2, 0.6}));
+  // Boundary: equal weights.
+  EXPECT_NEAR(h.Slack({0.4, 0.4}), 0.0, 1e-12);
+}
+
+TEST(Linear, BetterOrEqualConsistentWithScores) {
+  const Record p = MakeRecord(0, {0.3, 0.9, 0.5});
+  const Record q = MakeRecord(1, {0.8, 0.1, 0.4});
+  const Halfspace h = BetterOrEqual(p, q);
+  for (Scalar w1 = 0.05; w1 < 0.9; w1 += 0.17) {
+    for (Scalar w2 = 0.05; w1 + w2 < 1.0; w2 += 0.13) {
+      const Vec w = {w1, w2};
+      EXPECT_EQ(h.Contains(w), Score(p, w) >= Score(q, w) - kEps)
+          << "w1=" << w1 << " w2=" << w2;
+    }
+  }
+}
+
+TEST(Linear, TrivialHalfspace) {
+  const Record p = MakeRecord(0, {1.0, 1.0});
+  const Record q = MakeRecord(1, {1.0, 1.0});
+  EXPECT_TRUE(IsTrivial(BetterOrEqual(p, q)));
+  Halfspace h;
+  h.a = {0.0, 0.0};
+  h.b = -1.0;
+  EXPECT_FALSE(IsTrivial(h));  // infeasible, not trivial
+}
+
+TEST(Linear, ComplementFlipsContainment) {
+  Halfspace h;
+  h.a = {1.0, 1.0};
+  h.b = 0.5;
+  const Halfspace c = h.Complement();
+  EXPECT_TRUE(h.Contains({0.1, 0.1}));
+  EXPECT_FALSE(c.Contains({0.1, 0.1}));
+  EXPECT_TRUE(c.Contains({0.4, 0.4}));
+  EXPECT_FALSE(h.Contains({0.4, 0.4}));
+}
+
+}  // namespace
+}  // namespace utk

@@ -1,0 +1,163 @@
+// Randomized cross-validation of the simplex solver against an independent
+// 2D reference: enumerate all constraint-pair intersection vertices, keep
+// the feasible ones, and take the best objective. For bounded feasible 2D
+// programs this is exact, so any disagreement is a solver bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "common/rng.h"
+#include "geometry/lp.h"
+
+namespace utk {
+namespace {
+
+struct Reference2d {
+  bool feasible = false;
+  bool bounded = true;
+  Scalar best = 0.0;
+};
+
+// Exact reference for: maximize c.x subject to cons, all |x| <= box_bound
+// (the box keeps the program bounded so vertex enumeration is complete).
+Reference2d SolveByVertexEnumeration(const Vec& c,
+                                     std::vector<Halfspace> cons,
+                                     Scalar box_bound) {
+  // Add the bounding box explicitly.
+  for (int i = 0; i < 2; ++i) {
+    Halfspace up, down;
+    up.a = {i == 0 ? 1.0 : 0.0, i == 1 ? 1.0 : 0.0};
+    up.b = box_bound;
+    down.a = {i == 0 ? -1.0 : 0.0, i == 1 ? -1.0 : 0.0};
+    down.b = box_bound;
+    cons.push_back(up);
+    cons.push_back(down);
+  }
+  Reference2d ref;
+  const int m = static_cast<int>(cons.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const Scalar a1 = cons[i].a[0], b1 = cons[i].a[1], c1 = cons[i].b;
+      const Scalar a2 = cons[j].a[0], b2 = cons[j].a[1], c2 = cons[j].b;
+      const Scalar det = a1 * b2 - a2 * b1;
+      if (std::fabs(det) < 1e-12) continue;
+      const Vec x = {(c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det};
+      bool ok = true;
+      for (const Halfspace& h : cons) {
+        if (h.Slack(x) < -1e-7) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      const Scalar v = c[0] * x[0] + c[1] * x[1];
+      if (!ref.feasible || v > ref.best) ref.best = v;
+      ref.feasible = true;
+    }
+  }
+  return ref;
+}
+
+TEST(LpFuzz, RandomBounded2dProgramsMatchVertexEnumeration) {
+  Rng rng(2024);
+  int feasible_seen = 0, infeasible_seen = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const int m = rng.UniformInt(1, 8);
+    std::vector<Halfspace> cons;
+    for (int i = 0; i < m; ++i) {
+      Halfspace h;
+      h.a = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (std::fabs(h.a[0]) + std::fabs(h.a[1]) < 1e-3) h.a[0] = 1.0;
+      h.b = rng.Uniform(-0.5, 1.0);
+      cons.push_back(h);
+    }
+    const Vec c = {rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    constexpr Scalar kBox = 5.0;
+    Reference2d ref = SolveByVertexEnumeration(c, cons, kBox);
+
+    std::vector<Halfspace> with_box = cons;
+    for (int i = 0; i < 2; ++i) {
+      Halfspace up, down;
+      up.a = {i == 0 ? 1.0 : 0.0, i == 1 ? 1.0 : 0.0};
+      up.b = kBox;
+      down.a = {i == 0 ? -1.0 : 0.0, i == 1 ? -1.0 : 0.0};
+      down.b = kBox;
+      with_box.push_back(up);
+      with_box.push_back(down);
+    }
+    LpResult got = SolveLp(c, with_box);
+
+    if (ref.feasible) {
+      ++feasible_seen;
+      ASSERT_EQ(got.status, LpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(got.objective, ref.best, 1e-5) << "trial " << trial;
+      // The reported optimizer must satisfy all constraints.
+      for (const Halfspace& h : with_box)
+        EXPECT_GE(h.Slack(got.x), -1e-6) << "trial " << trial;
+    } else {
+      ++infeasible_seen;
+      EXPECT_EQ(got.status, LpStatus::kInfeasible) << "trial " << trial;
+    }
+  }
+  // The generator must exercise both outcomes.
+  EXPECT_GT(feasible_seen, 50);
+  EXPECT_GT(infeasible_seen, 5);
+}
+
+TEST(LpFuzz, MinimizeAgreesWithNegatedMaximize) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Halfspace> cons;
+    for (int i = 0; i < 5; ++i) {
+      Halfspace h;
+      h.a = {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      h.b = rng.Uniform(0.1, 1.0);  // origin feasible
+      cons.push_back(h);
+    }
+    for (int i = 0; i < 3; ++i) {
+      Halfspace up, down;
+      up.a = {0, 0, 0};
+      up.a[i] = 1.0;
+      up.b = 2.0;
+      down.a = {0, 0, 0};
+      down.a[i] = -1.0;
+      down.b = 2.0;
+      cons.push_back(up);
+      cons.push_back(down);
+    }
+    const Vec c = {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    Vec neg = {-c[0], -c[1], -c[2]};
+    LpResult mn = SolveLp(c, cons, /*maximize=*/false);
+    LpResult mx = SolveLp(neg, cons, /*maximize=*/true);
+    ASSERT_EQ(mn.status, LpStatus::kOptimal);
+    ASSERT_EQ(mx.status, LpStatus::kOptimal);
+    EXPECT_NEAR(mn.objective, -mx.objective, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(LpFuzz, ChebyshevCenterDeepInside) {
+  // The Chebyshev ball must fit: slack of every constraint at the center is
+  // at least radius * ||a||.
+  Rng rng(2026);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Halfspace> cons;
+    for (int i = 0; i < 8; ++i) {
+      Halfspace h;
+      h.a = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (std::fabs(h.a[0]) + std::fabs(h.a[1]) < 1e-3) h.a[1] = 1.0;
+      h.b = rng.Uniform(0.2, 1.0);  // origin strictly feasible
+      cons.push_back(h);
+    }
+    auto ip = FindInteriorPoint(cons);
+    ASSERT_TRUE(ip.has_value()) << "trial " << trial;
+    ASSERT_GT(ip->radius, 0.0);
+    for (const Halfspace& h : cons) {
+      EXPECT_GE(h.Slack(ip->x) + 1e-7, ip->radius * Norm(h.a))
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace utk

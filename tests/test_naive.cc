@@ -1,0 +1,96 @@
+// Sanity checks on the naive exact oracle itself — the other suites lean on
+// it, so it gets its own validation against hand-computable instances.
+#include "core/naive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/topk.h"
+#include "data/generator.h"
+
+namespace utk {
+namespace {
+
+Dataset TwoRecords() {
+  // r0 wins when w1 large, r1 wins when w1 small (d=2, 1D preference).
+  Dataset data;
+  Record a, b;
+  a.id = 0;
+  a.attrs = {1.0, 0.0};
+  b.id = 1;
+  b.attrs = {0.0, 1.0};
+  data = {a, b};
+  return data;
+}
+
+TEST(Naive, TwoRecordCrossover) {
+  Dataset data = TwoRecords();
+  // Scores tie at w1 = 0.5. Region entirely left of the crossover:
+  ConvexRegion left = ConvexRegion::FromBox({0.1}, {0.3});
+  EXPECT_EQ(NaiveUtk1(data, left, 1), (std::vector<int32_t>{1}));
+  // Region spanning the crossover: both.
+  ConvexRegion span = ConvexRegion::FromBox({0.3}, {0.7});
+  EXPECT_EQ(NaiveUtk1(data, span, 1), (std::vector<int32_t>{0, 1}));
+  // Right of the crossover:
+  ConvexRegion right = ConvexRegion::FromBox({0.7}, {0.9});
+  EXPECT_EQ(NaiveUtk1(data, right, 1), (std::vector<int32_t>{0}));
+  // k = 2: everyone.
+  EXPECT_EQ(NaiveUtk1(data, left, 2), (std::vector<int32_t>{0, 1}));
+}
+
+TEST(Naive, MemberRejectsDominatedRecord) {
+  Dataset data = TwoRecords();
+  Record c;
+  c.id = 2;
+  c.attrs = {0.5, 0.5};  // on the segment: never strictly top-1... but ties
+  data.push_back(c);
+  Record d;
+  d.id = 3;
+  d.attrs = {0.1, 0.1};  // dominated by everyone
+  data.push_back(d);
+  ConvexRegion span = ConvexRegion::FromBox({0.2}, {0.8});
+  EXPECT_FALSE(NaiveUtk1Member(data, 3, span, 1));
+  EXPECT_FALSE(NaiveUtk1Member(data, 3, span, 2));
+  EXPECT_TRUE(NaiveUtk1Member(data, 3, span, 4));
+}
+
+TEST(Naive, MidpointRecordNeedsInteriorCell) {
+  // c = (0.5, 0.5) ties the chord between r0 and r1 exactly at w1=0.5 and
+  // loses to one of them everywhere else: it has no interior cell at k=1,
+  // so exact UTK1 (interior semantics) excludes it, but k=2 admits it.
+  Dataset data = TwoRecords();
+  Record c;
+  c.id = 2;
+  c.attrs = {0.5, 0.5};
+  data.push_back(c);
+  ConvexRegion span = ConvexRegion::FromBox({0.3}, {0.7});
+  EXPECT_FALSE(NaiveUtk1Member(data, 2, span, 1));
+  EXPECT_TRUE(NaiveUtk1Member(data, 2, span, 2));
+}
+
+TEST(Naive, SampleTopkSetsInsideRegion) {
+  Dataset data = Generate(Distribution::kIndependent, 100, 3, 91);
+  ConvexRegion region = ConvexRegion::FromBox({0.2, 0.3}, {0.3, 0.4});
+  auto samples = SampleTopkSets(data, region, 4, 25, 5);
+  EXPECT_EQ(samples.size(), 25u);
+  for (const auto& [w, topk] : samples) {
+    EXPECT_TRUE(region.Contains(w));
+    EXPECT_EQ(topk.size(), 4u);
+    EXPECT_EQ(topk, TopK(data, w, 4));
+  }
+}
+
+TEST(Naive, SamplingGeneralRegion) {
+  // Rejection sampling must also work for clipped (non-box) regions.
+  Dataset data = Generate(Distribution::kIndependent, 50, 3, 92);
+  ConvexRegion region = ConvexRegion::FromBox({0.4, 0.4}, {0.7, 0.7});
+  ASSERT_FALSE(region.is_box());
+  auto samples = SampleTopkSets(data, region, 2, 10, 6);
+  EXPECT_EQ(samples.size(), 10u);
+  for (const auto& [w, topk] : samples) EXPECT_TRUE(region.Contains(w));
+}
+
+}  // namespace
+}  // namespace utk

@@ -1,0 +1,60 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/rsa.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "index/rtree.h"
+
+namespace utk {
+namespace {
+
+TEST(Parallel, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 8, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, InlineWhenSingleThread) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](int i) { order.push_back(i); });  // no data race
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, ZeroAndNegativeCount) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](int) { ++calls; });
+  ParallelFor(-3, 4, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, 16, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ConcurrentUtkQueriesMatchSerial) {
+  // The library has no global mutable state (LP counters are thread_local):
+  // concurrent queries must produce identical results to serial ones.
+  Dataset data = Generate(Distribution::kIndependent, 400, 3, 77);
+  RTree tree = RTree::BulkLoad(data);
+  auto queries = QueryBatch(2, 0.08, 8, 123);
+  std::vector<std::vector<int32_t>> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i)
+    serial[i] = Rsa().Run(data, tree, queries[i], 4).ids;
+  std::vector<std::vector<int32_t>> parallel(queries.size());
+  ParallelFor(static_cast<int>(queries.size()), 4, [&](int i) {
+    parallel[i] = Rsa().Run(data, tree, queries[i], 4).ids;
+  });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Parallel, DefaultThreadsPositive) { EXPECT_GE(DefaultThreads(), 1); }
+
+}  // namespace
+}  // namespace utk

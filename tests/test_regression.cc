@@ -1,0 +1,52 @@
+// Golden regression tests: fixed seeds, exact expected outputs. These pin
+// down end-to-end determinism (generator -> R-tree -> RSA/JAA) so that
+// refactors that change results get caught even when all invariants hold.
+#include <gtest/gtest.h>
+
+#include "core/jaa.h"
+#include "core/naive.h"
+#include "core/rsa.h"
+#include "data/generator.h"
+#include "data/realistic.h"
+#include "index/rtree.h"
+
+namespace utk {
+namespace {
+
+TEST(Regression, Ind300K5) {
+  Dataset data = Generate(Distribution::kIndependent, 300, 3, 20240612);
+  RTree tree = RTree::BulkLoad(data);
+  ConvexRegion region = ConvexRegion::FromBox({0.2, 0.3}, {0.35, 0.45});
+  Utk1Result r = Rsa().Run(data, tree, region, 5);
+  EXPECT_EQ(r.ids, NaiveUtk1(data, region, 5));  // self-validating golden
+  EXPECT_EQ(r.ids.size(), 7u);
+  Utk2Result r2 = Jaa().Run(data, tree, region, 5);
+  EXPECT_EQ(r2.AllRecords(), r.ids);
+  EXPECT_EQ(r2.NumDistinctTopkSets(), 3);
+}
+
+TEST(Regression, DeterministicAcrossRuns) {
+  Dataset data = GenerateHotelLike(800, 99);
+  for (Record& r : data) r.attrs.resize(3);
+  RTree tree = RTree::BulkLoad(data);
+  ConvexRegion region = ConvexRegion::FromBox({0.25, 0.45}, {0.35, 0.55});
+  Utk1Result a = Rsa().Run(data, tree, region, 4);
+  Utk1Result b = Rsa().Run(data, tree, region, 4);
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.stats.lp_calls, b.stats.lp_calls);
+  EXPECT_EQ(a.stats.cells_created, b.stats.cells_created);
+}
+
+TEST(Regression, FigureOneStatsEnvelope) {
+  // The quickstart workload should stay cheap: a budget regression guard.
+  Dataset data = FigureOneHotels();
+  RTree tree = RTree::BulkLoad(data);
+  ConvexRegion region = ConvexRegion::FromBox({0.05, 0.05}, {0.45, 0.25});
+  Utk2Result r = Jaa().Run(data, tree, region, 2);
+  EXPECT_EQ(r.AllRecords(), (std::vector<int32_t>{0, 1, 3, 5}));
+  EXPECT_LE(r.stats.lp_calls, 200);
+  EXPECT_LE(r.stats.cells_created, 40);
+}
+
+}  // namespace
+}  // namespace utk

@@ -1,0 +1,121 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+
+namespace utk {
+namespace {
+
+// Collects all record ids reachable from the root.
+void CollectRecords(const RTree& tree, int32_t node_id,
+                    std::set<int32_t>* out) {
+  const RTreeNode& node = tree.node(node_id);
+  if (node.is_leaf) {
+    out->insert(node.record_ids.begin(), node.record_ids.end());
+  } else {
+    for (int32_t c : node.entries) CollectRecords(tree, c, out);
+  }
+}
+
+// Checks that every node's MBB covers its contents.
+void CheckMbbs(const Dataset& data, const RTree& tree, int32_t node_id) {
+  const RTreeNode& node = tree.node(node_id);
+  if (node.is_leaf) {
+    for (int32_t rid : node.record_ids) {
+      for (size_t d = 0; d < data[rid].attrs.size(); ++d) {
+        EXPECT_LE(node.mbb.lo[d], data[rid].attrs[d]);
+        EXPECT_GE(node.mbb.hi[d], data[rid].attrs[d]);
+      }
+    }
+  } else {
+    for (int32_t c : node.entries) {
+      const Mbb& child = tree.node(c).mbb;
+      for (size_t d = 0; d < child.lo.size(); ++d) {
+        EXPECT_LE(node.mbb.lo[d], child.lo[d]);
+        EXPECT_GE(node.mbb.hi[d], child.hi[d]);
+      }
+      CheckMbbs(data, tree, c);
+    }
+  }
+}
+
+TEST(Mbb, ExpandPointAndBox) {
+  Mbb m = Mbb::Empty(2);
+  m.Expand(Vec{1.0, 2.0});
+  m.Expand(Vec{0.5, 3.0});
+  EXPECT_EQ(m.lo, (Vec{0.5, 2.0}));
+  EXPECT_EQ(m.hi, (Vec{1.0, 3.0}));
+  Mbb other = Mbb::Empty(2);
+  other.Expand(Vec{2.0, 0.0});
+  m.Expand(other);
+  EXPECT_EQ(m.lo, (Vec{0.5, 0.0}));
+  EXPECT_EQ(m.hi, (Vec{2.0, 3.0}));
+  EXPECT_EQ(m.TopCorner(), m.hi);
+}
+
+TEST(RTree, EmptyDataset) {
+  RTree t = RTree::BulkLoad({});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RTree, SingleRecord) {
+  Dataset data = Generate(Distribution::kIndependent, 1, 3, 1);
+  RTree t = RTree::BulkLoad(data);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.height(), 1);
+  std::set<int32_t> ids;
+  CollectRecords(t, t.root(), &ids);
+  EXPECT_EQ(ids, std::set<int32_t>{0});
+}
+
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, Distribution>> {};
+
+TEST_P(RTreeParamTest, AllRecordsReachableAndMbbsValid) {
+  const auto [n, dim, dist] = GetParam();
+  Dataset data = Generate(dist, n, dim, 99);
+  RTree tree = RTree::BulkLoad(data);
+  std::set<int32_t> ids;
+  CollectRecords(tree, tree.root(), &ids);
+  EXPECT_EQ(static_cast<int>(ids.size()), n);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), n - 1);
+  CheckMbbs(data, tree, tree.root());
+}
+
+TEST_P(RTreeParamTest, FanoutRespected) {
+  const auto [n, dim, dist] = GetParam();
+  Dataset data = Generate(dist, n, dim, 123);
+  RTree tree = RTree::BulkLoad(data);
+  for (int32_t i = 0; i < tree.num_nodes(); ++i) {
+    const RTreeNode& node = tree.node(i);
+    if (node.is_leaf) {
+      EXPECT_LE(static_cast<int>(node.record_ids.size()), RTree::kFanout);
+      EXPECT_GE(node.record_ids.size(), 1u);
+    } else {
+      EXPECT_LE(static_cast<int>(node.entries.size()), RTree::kFanout);
+      EXPECT_GE(node.entries.size(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeParamTest,
+    ::testing::Combine(::testing::Values(10, 100, 1000, 5000),
+                       ::testing::Values(2, 4, 7),
+                       ::testing::Values(Distribution::kIndependent,
+                                         Distribution::kAnticorrelated)));
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  Dataset data = Generate(Distribution::kIndependent, 40000, 3, 5);
+  RTree tree = RTree::BulkLoad(data);
+  // 40000 records at fanout 32: 1250 leaves -> 3-4 levels.
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 5);
+}
+
+}  // namespace
+}  // namespace utk

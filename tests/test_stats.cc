@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace utk {
+namespace {
+
+TEST(Stats, AccumulateSumsCountersAndMaxesPeak) {
+  QueryStats a, b;
+  a.candidates = 10;
+  a.lp_calls = 5;
+  a.peak_bytes = 100;
+  a.elapsed_ms = 1.5;
+  b.candidates = 3;
+  b.lp_calls = 7;
+  b.peak_bytes = 250;
+  b.elapsed_ms = 0.5;
+  a += b;
+  EXPECT_EQ(a.candidates, 13);
+  EXPECT_EQ(a.lp_calls, 12);
+  EXPECT_EQ(a.peak_bytes, 250);  // max, not sum
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+}
+
+TEST(Stats, ToStringContainsAllFields) {
+  QueryStats s;
+  s.candidates = 42;
+  s.drills = 7;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("candidates=42"), std::string::npos);
+  EXPECT_NE(str.find("drills=7"), std::string::npos);
+  EXPECT_NE(str.find("lp_calls=0"), std::string::npos);
+}
+
+TEST(Stats, TimerMeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.ElapsedMs();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedMs(), 15.0);
+}
+
+}  // namespace
+}  // namespace utk

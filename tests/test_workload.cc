@@ -1,0 +1,62 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace utk {
+namespace {
+
+TEST(Workload, BoxHasRequestedSide) {
+  Rng rng(1);
+  for (int dim : {1, 2, 3, 5}) {
+    for (Scalar sigma : {0.01, 0.05, 0.1}) {
+      ConvexRegion r = RandomQueryBox(dim, sigma, rng);
+      ASSERT_TRUE(r.is_box());
+      for (int i = 0; i < dim; ++i) {
+        EXPECT_NEAR(r.box_hi()[i] - r.box_lo()[i], sigma, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Workload, BoxInsideSimplex) {
+  Rng rng(2);
+  for (int t = 0; t < 200; ++t) {
+    ConvexRegion r = RandomQueryBox(3, 0.08, rng);
+    Scalar hi_sum = 0;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(r.box_lo()[i], 0.0);
+      hi_sum += r.box_hi()[i];
+    }
+    EXPECT_LE(hi_sum, 1.0 + 1e-12);
+  }
+}
+
+TEST(Workload, BatchDeterministicBySeed) {
+  auto a = QueryBatch(2, 0.05, 10, 99);
+  auto b = QueryBatch(2, 0.05, 10, 99);
+  ASSERT_EQ(a.size(), 10u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box_lo(), b[i].box_lo());
+    EXPECT_EQ(a[i].box_hi(), b[i].box_hi());
+  }
+}
+
+TEST(Workload, BatchVariesAcrossQueries) {
+  auto batch = QueryBatch(2, 0.05, 10, 100);
+  bool differs = false;
+  for (size_t i = 1; i < batch.size(); ++i)
+    if (batch[i].box_lo() != batch[0].box_lo()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, LargeSigmaHighDimStillFits) {
+  // sigma * dim close to 1: rejection may fail, fallback must kick in.
+  Rng rng(3);
+  ConvexRegion r = RandomQueryBox(6, 0.16, rng);
+  Scalar hi_sum = 0;
+  for (int i = 0; i < 6; ++i) hi_sum += r.box_hi()[i];
+  EXPECT_LE(hi_sum, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace utk
