@@ -5,6 +5,9 @@
 //   * Lemma-1 on/off         (Section 4.2 competitor pruning)
 //   * wave cap               (small local arrangements vs one big wave)
 //   * filtering strength     (r-skyband vs k-skyband vs onion candidates)
+//
+// All knobs ride on QuerySpec; the engine maps them onto the executing
+// algorithm's options.
 #include "bench_common.h"
 #include "skyline/onion.h"
 #include "skyline/rskyband.h"
@@ -24,18 +27,18 @@ constexpr int kDim = 4;
 constexpr int kK = 5;
 constexpr double kSigma = 0.15;
 
-const Dataset& Data() {
+const Engine& Data() {
   return Corpus::Synthetic(Distribution::kAnticorrelated, ScaledN(800), kDim);
 }
 
-void RsaVariant(benchmark::State& state, Rsa::Options opt) {
-  const Dataset& data = Data();
-  const RTree& tree = Corpus::Tree(data);
+void Utk1Variant(benchmark::State& state, QuerySpec spec) {
+  const Engine& engine = Data();
   auto queries = Queries(kDim - 1, kSigma);
   for (auto _ : state) {
     double ms = 0, out = 0, lp = 0;
     for (const ConvexRegion& region : queries) {
-      Utk1Result r = Rsa(opt).Run(data, tree, region, kK);
+      spec.region = region;
+      QueryResult r = engine.Run(spec);
       ms += r.stats.elapsed_ms;
       out += static_cast<double>(r.ids.size());
       lp += static_cast<double>(r.stats.lp_calls);
@@ -46,31 +49,33 @@ void RsaVariant(benchmark::State& state, Rsa::Options opt) {
   }
 }
 
-void Ablation_RSA_Full(benchmark::State& s) { RsaVariant(s, {}); }
+QuerySpec Utk1Spec() { return Spec(QueryMode::kUtk1, Algorithm::kRsa, kK); }
+
+void Ablation_RSA_Full(benchmark::State& s) { Utk1Variant(s, Utk1Spec()); }
 void Ablation_RSA_NoDrill(benchmark::State& s) {
-  Rsa::Options o;
-  o.use_drill = false;
-  RsaVariant(s, o);
+  QuerySpec spec = Utk1Spec();
+  spec.use_drill = false;
+  Utk1Variant(s, spec);
 }
 void Ablation_RSA_NoLemma1(benchmark::State& s) {
-  Rsa::Options o;
-  o.use_lemma1 = false;
-  RsaVariant(s, o);
+  QuerySpec spec = Utk1Spec();
+  spec.use_lemma1 = false;
+  Utk1Variant(s, spec);
 }
 void Ablation_RSA_NoWaveCap(benchmark::State& s) {
-  Rsa::Options o;
-  o.wave_cap = 0;
-  RsaVariant(s, o);
+  QuerySpec spec = Utk1Spec();
+  spec.wave_cap = 0;
+  Utk1Variant(s, spec);
 }
 void Ablation_RSA_Wave4(benchmark::State& s) {
-  Rsa::Options o;
-  o.wave_cap = 4;
-  RsaVariant(s, o);
+  QuerySpec spec = Utk1Spec();
+  spec.wave_cap = 4;
+  Utk1Variant(s, spec);
 }
 void Ablation_RSA_Wave16(benchmark::State& s) {
-  Rsa::Options o;
-  o.wave_cap = 16;
-  RsaVariant(s, o);
+  QuerySpec spec = Utk1Spec();
+  spec.wave_cap = 16;
+  Utk1Variant(s, spec);
 }
 
 BENCHMARK(Ablation_RSA_Full)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -85,50 +90,53 @@ BENCHMARK(Ablation_RSA_Wave16)->Unit(benchmark::kMillisecond)->Iterations(1);
 // Filtering-step tightness: candidates surviving each filter for the same
 // configuration (smaller = less refinement work downstream).
 void Ablation_Filters(benchmark::State& state) {
-  const Dataset& data = Data();
-  const RTree& tree = Corpus::Tree(data);
+  const Engine& engine = Data();
   auto queries = Queries(kDim - 1, kSigma);
   for (auto _ : state) {
     QueryStats tmp;
     double rband = 0;
     for (const ConvexRegion& region : queries)
       rband += static_cast<double>(
-          ComputeRSkyband(data, tree, region, kK).ids.size());
+          ComputeRSkyband(engine.data(), engine.tree(), region, kK)
+              .ids.size());
     state.counters["r_skyband"] = rband / queries.size();
-    state.counters["k_skyband"] =
-        static_cast<double>(KSkyband(data, tree, kK).size());
-    state.counters["onion"] =
-        static_cast<double>(OnionCandidates(data, tree, kK, &tmp).size());
+    state.counters["k_skyband"] = static_cast<double>(
+        KSkyband(engine.data(), engine.tree(), kK).size());
+    state.counters["onion"] = static_cast<double>(
+        OnionCandidates(engine.data(), engine.tree(), kK, &tmp).size());
   }
 }
 BENCHMARK(Ablation_Filters)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 // JAA wave-cap sensitivity.
-void JaaVariant(benchmark::State& state, Jaa::Options opt) {
-  const Dataset& data = Data();
-  const RTree& tree = Corpus::Tree(data);
+void Utk2Variant(benchmark::State& state, QuerySpec spec) {
+  const Engine& engine = Data();
   auto queries = Queries(kDim - 1, 0.02);
   for (auto _ : state) {
     double ms = 0, sets = 0;
     for (const ConvexRegion& region : queries) {
-      Utk2Result r = Jaa(opt).Run(data, tree, region, kK);
+      spec.region = region;
+      QueryResult r = engine.Run(spec);
       ms += r.stats.elapsed_ms;
-      sets += static_cast<double>(r.NumDistinctTopkSets());
+      sets += static_cast<double>(r.utk2.NumDistinctTopkSets());
     }
     state.counters["ms_per_query"] = ms / queries.size();
     state.counters["topk_sets"] = sets / queries.size();
   }
 }
-void Ablation_JAA_Full(benchmark::State& s) { JaaVariant(s, {}); }
+
+QuerySpec Utk2Spec() { return Spec(QueryMode::kUtk2, Algorithm::kJaa, kK); }
+
+void Ablation_JAA_Full(benchmark::State& s) { Utk2Variant(s, Utk2Spec()); }
 void Ablation_JAA_NoLemma1(benchmark::State& s) {
-  Jaa::Options o;
-  o.use_lemma1 = false;
-  JaaVariant(s, o);
+  QuerySpec spec = Utk2Spec();
+  spec.use_lemma1 = false;
+  Utk2Variant(s, spec);
 }
 void Ablation_JAA_Wave4(benchmark::State& s) {
-  Jaa::Options o;
-  o.wave_cap = 4;
-  JaaVariant(s, o);
+  QuerySpec spec = Utk2Spec();
+  spec.wave_cap = 4;
+  Utk2Variant(s, spec);
 }
 BENCHMARK(Ablation_JAA_Full)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(Ablation_JAA_NoLemma1)->Unit(benchmark::kMillisecond)

@@ -2,29 +2,32 @@
 //
 // Scale policy: the paper runs on datasets up to 1.6M records with 50 random
 // queries per configuration; each bench here defaults to laptop-scale
-// parameters (documented in EXPERIMENTS.md) and honours two environment
+// parameters (documented in EXPERIMENTS.md) and honours three environment
 // variables so paper-scale runs remain one command away:
 //   UTK_BENCH_SCALE    multiplies every dataset cardinality (default 1)
 //   UTK_BENCH_QUERIES  number of random query regions per point (default 3)
-// Every dataset / index is memoized across benchmark registrations.
+//   UTK_BENCH_THREADS  Engine::RunBatch width (default 1: per-query wall
+//                      clock stays contention-free and comparable)
+// Every dataset / index is memoized as a utk::Engine across registrations;
+// all algorithm dispatch goes through QuerySpec — no benchmark names an
+// algorithm class.
 #ifndef UTK_BENCH_BENCH_COMMON_H_
 #define UTK_BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
-#include "core/baseline.h"
-#include "core/jaa.h"
-#include "core/rsa.h"
+#include "api/engine.h"
 #include "data/generator.h"
 #include "data/realistic.h"
 #include "data/workload.h"
-#include "index/rtree.h"
 
 namespace utk {
 namespace bench {
@@ -36,42 +39,34 @@ inline int EnvInt(const char* name, int fallback) {
 
 inline int ScaledN(int base) { return base * EnvInt("UTK_BENCH_SCALE", 1); }
 inline int NumQueries() { return EnvInt("UTK_BENCH_QUERIES", 3); }
+inline int NumThreads() { return EnvInt("UTK_BENCH_THREADS", 1); }
 
-/// Memoized dataset + R-tree pairs.
+/// Memoized engines (dataset + R-tree, built once per configuration).
 class Corpus {
  public:
-  static const Dataset& Synthetic(Distribution dist, int n, int dim) {
-    static std::map<std::tuple<int, int, int>, std::unique_ptr<Dataset>> cache;
+  static const Engine& Synthetic(Distribution dist, int n, int dim) {
+    static std::map<std::tuple<int, int, int>, std::unique_ptr<Engine>> cache;
     auto key = std::make_tuple(static_cast<int>(dist), n, dim);
     auto it = cache.find(key);
     if (it == cache.end()) {
-      it = cache.emplace(key, std::make_unique<Dataset>(
-                                  Generate(dist, n, dim, 4242))).first;
+      it = cache
+               .emplace(key, std::make_unique<Engine>(
+                                 Generate(dist, n, dim, 4242)))
+               .first;
     }
     return *it->second;
   }
 
   /// kind: 0 = HOTEL-like (4D), 1 = HOUSE-like (6D), 2 = NBA-like (8D).
-  static const Dataset& Realistic(int kind, int n) {
-    static std::map<std::pair<int, int>, std::unique_ptr<Dataset>> cache;
+  static const Engine& Realistic(int kind, int n) {
+    static std::map<std::pair<int, int>, std::unique_ptr<Engine>> cache;
     auto key = std::make_pair(kind, n);
     auto it = cache.find(key);
     if (it == cache.end()) {
       Dataset d = kind == 0   ? GenerateHotelLike(n, 4242)
                   : kind == 1 ? GenerateHouseLike(n, 4242)
                               : GenerateNbaLike(n, 4242);
-      it = cache.emplace(key, std::make_unique<Dataset>(std::move(d))).first;
-    }
-    return *it->second;
-  }
-
-  static const RTree& Tree(const Dataset& data) {
-    static std::map<const Dataset*, std::unique_ptr<RTree>> cache;
-    auto it = cache.find(&data);
-    if (it == cache.end()) {
-      it = cache.emplace(&data,
-                         std::make_unique<RTree>(RTree::BulkLoad(data)))
-               .first;
+      it = cache.emplace(key, std::make_unique<Engine>(std::move(d))).first;
     }
     return *it->second;
   }
@@ -82,7 +77,7 @@ constexpr const char* kRealisticNames[] = {"HOTEL", "HOUSE", "NBA"};
 /// Aggregates over a batch of random queries.
 struct BatchResult {
   double total_ms = 0.0;
-  double output_size = 0.0;     ///< UTK1 records or UTK2 top-k sets (avg)
+  double output_size = 0.0;     ///< UTK1 records / UTK2 sets or cells (avg)
   double candidates = 0.0;      ///< filter output size (avg)
   double peak_bytes = 0.0;      ///< max over queries
   int queries = 0;
@@ -95,68 +90,50 @@ struct BatchResult {
   }
 };
 
-enum class Algo { kRsa, kJaa, kBaselineSk1, kBaselineOn1, kBaselineSk2,
-                  kBaselineOn2 };
-
-inline const char* AlgoName(Algo a) {
-  switch (a) {
-    case Algo::kRsa: return "RSA";
-    case Algo::kJaa: return "JAA";
-    case Algo::kBaselineSk1: return "SK";
-    case Algo::kBaselineOn1: return "ON";
-    case Algo::kBaselineSk2: return "SK2";
-    case Algo::kBaselineOn2: return "ON2";
-  }
-  return "?";
+/// The figure each query result reports as its output size: UTK1 records,
+/// UTK2 distinct top-k sets (common arrangement) or total cells (per-record
+/// baseline decomposition, the baseline's output volume).
+inline double OutputSize(const QueryResult& r) {
+  if (r.mode == QueryMode::kUtk1) return static_cast<double>(r.ids.size());
+  if (!r.per_record.records.empty())
+    return static_cast<double>(r.per_record.TotalCells());
+  return static_cast<double>(r.utk2.NumDistinctTopkSets());
 }
 
-/// Runs `algo` over `queries` regions and aggregates.
-inline BatchResult RunBatch(Algo algo, const Dataset& data, const RTree& tree,
-                            const std::vector<ConvexRegion>& queries, int k) {
-  BatchResult out;
-  for (const ConvexRegion& region : queries) {
-    QueryStats stats;
-    double output = 0.0;
-    switch (algo) {
-      case Algo::kRsa: {
-        Utk1Result r = Rsa().Run(data, tree, region, k);
-        stats = r.stats;
-        output = static_cast<double>(r.ids.size());
-        break;
-      }
-      case Algo::kJaa: {
-        Utk2Result r = Jaa().Run(data, tree, region, k);
-        stats = r.stats;
-        output = static_cast<double>(r.NumDistinctTopkSets());
-        break;
-      }
-      case Algo::kBaselineSk1:
-      case Algo::kBaselineOn1: {
-        Baseline b(algo == Algo::kBaselineSk1 ? BaselineFilter::kSkyband
-                                              : BaselineFilter::kOnion);
-        Utk1Result r = b.RunUtk1(data, tree, region, k);
-        stats = r.stats;
-        output = static_cast<double>(r.ids.size());
-        break;
-      }
-      case Algo::kBaselineSk2:
-      case Algo::kBaselineOn2: {
-        Baseline b(algo == Algo::kBaselineSk2 ? BaselineFilter::kSkyband
-                                              : BaselineFilter::kOnion);
-        BaselineUtk2Result r = b.RunUtk2(data, tree, region, k);
-        stats = r.stats;
-        output = static_cast<double>(r.TotalCells());
-        break;
-      }
+/// Runs one QuerySpec template over `queries` regions through the engine's
+/// batch path and aggregates.
+inline BatchResult RunBatch(const Engine& engine, QuerySpec spec,
+                            const std::vector<ConvexRegion>& queries) {
+  std::vector<QuerySpec> specs(queries.size(), spec);
+  for (size_t i = 0; i < queries.size(); ++i) specs[i].region = queries[i];
+  BatchQueryResult batch = engine.RunBatch(specs, NumThreads());
+  // A failed spec would silently deflate the per-query averages; no figure
+  // is allowed to report numbers built on rejected queries.
+  for (const QueryResult& r : batch.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "bench: query rejected by engine: %s\n",
+                   r.error.c_str());
+      std::exit(1);
     }
-    out.total_ms += stats.elapsed_ms;
-    out.output_size += output;
-    out.candidates += static_cast<double>(stats.candidates);
-    out.peak_bytes = std::max(out.peak_bytes,
-                              static_cast<double>(stats.peak_bytes));
+  }
+  BatchResult out;
+  for (const QueryResult& r : batch.results) {
+    out.total_ms += r.stats.elapsed_ms;
+    out.output_size += OutputSize(r);
+    out.candidates += static_cast<double>(r.stats.candidates);
+    out.peak_bytes =
+        std::max(out.peak_bytes, static_cast<double>(r.stats.peak_bytes));
     ++out.queries;
   }
   return out;
+}
+
+inline QuerySpec Spec(QueryMode mode, Algorithm algo, int k) {
+  QuerySpec spec;
+  spec.mode = mode;
+  spec.algorithm = algo;
+  spec.k = k;
+  return spec;
 }
 
 /// Standard query batch for a configuration (deterministic by seed).

@@ -27,16 +27,15 @@ Dataset Project(const Dataset& full, std::vector<int> cols) {
 }
 
 void Fig09a(benchmark::State& state) {
-  const Dataset& league = Corpus::Realistic(2, ScaledN(500));
-  Dataset d2 = Project(league, {1, 0});  // rebounds, points
-  RTree tree = RTree::BulkLoad(d2);
-  ConvexRegion region = ConvexRegion::FromBox({0.64}, {0.74});
-  const int k = 3;
+  const Dataset& league = Corpus::Realistic(2, ScaledN(500)).data();
+  Engine engine(Project(league, {1, 0}));  // rebounds, points
+  QuerySpec spec = Spec(QueryMode::kUtk1, Algorithm::kAuto, /*k=*/3);
+  spec.region = ConvexRegion::FromBox({0.64}, {0.74});
   for (auto _ : state) {
-    Utk1Result utk1 = Rsa().Run(d2, tree, region, k);
+    QueryResult utk1 = engine.Run(spec);
     QueryStats tmp;
-    auto onion = OnionCandidates(d2, tree, k, &tmp);
-    auto sky = KSkyband(d2, tree, k);
+    auto onion = OnionCandidates(engine.data(), engine.tree(), spec.k, &tmp);
+    auto sky = KSkyband(engine.data(), engine.tree(), spec.k);
     state.counters["utk1"] = static_cast<double>(utk1.ids.size());
     state.counters["onion"] = static_cast<double>(onion.size());
     state.counters["skyband"] = static_cast<double>(sky.size());
@@ -45,17 +44,16 @@ void Fig09a(benchmark::State& state) {
 BENCHMARK(Fig09a)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void Fig09b(benchmark::State& state) {
-  const Dataset& league = Corpus::Realistic(2, ScaledN(500));
-  Dataset d3 = Project(league, {1, 0, 2});  // rebounds, points, assists
-  RTree tree = RTree::BulkLoad(d3);
-  ConvexRegion region = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
-  const int k = 3;
+  const Dataset& league = Corpus::Realistic(2, ScaledN(500)).data();
+  Engine engine(Project(league, {1, 0, 2}));  // rebounds, points, assists
+  QuerySpec spec = Spec(QueryMode::kUtk2, Algorithm::kAuto, /*k=*/3);
+  spec.region = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
   for (auto _ : state) {
-    Utk2Result utk2 = Jaa().Run(d3, tree, region, k);
-    state.counters["cells"] = static_cast<double>(utk2.cells.size());
+    QueryResult utk2 = engine.Run(spec);
+    state.counters["cells"] = static_cast<double>(utk2.utk2.cells.size());
     state.counters["topk_sets"] =
-        static_cast<double>(utk2.NumDistinctTopkSets());
-    state.counters["players"] = static_cast<double>(utk2.AllRecords().size());
+        static_cast<double>(utk2.utk2.NumDistinctTopkSets());
+    state.counters["players"] = static_cast<double>(utk2.ids.size());
   }
 }
 BENCHMARK(Fig09b)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -17,29 +17,30 @@ namespace {
 // NBA-like data projected to 4 attributes: the full 8D onion peel is
 // disproportionately LP-heavy at bench scale and adds nothing to the ratio
 // the figure demonstrates.
-const Dataset& NbaData() {
-  static const Dataset* data = [] {
-    auto* d = new Dataset(Corpus::Realistic(2, ScaledN(2000)));
-    for (Record& r : *d) r.attrs.resize(4);
-    return d;
+const Engine& NbaEngine() {
+  static const Engine* engine = [] {
+    Dataset d = Corpus::Realistic(2, ScaledN(2000)).data();
+    for (Record& r : d) r.attrs.resize(4);
+    return new Engine(std::move(d));
   }();
-  return *data;
+  return *engine;
 }
 
 void Fig10(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
-  const Dataset& data = NbaData();
-  const RTree& tree = Corpus::Tree(data);
+  const Engine& engine = NbaEngine();
   auto queries = Queries(/*pref_dim=*/3, /*sigma=*/0.05);
 
   for (auto _ : state) {
     double sky_n = 0, onion_n = 0, utk_n = 0, tk_needed = 0;
     QueryStats tmp;
-    auto sky = KSkyband(data, tree, k);
-    auto onion = OnionCandidates(data, tree, k, &tmp);
+    auto sky = KSkyband(engine.data(), engine.tree(), k);
+    auto onion = OnionCandidates(engine.data(), engine.tree(), k, &tmp);
     for (const ConvexRegion& region : queries) {
-      Utk1Result utk1 = Rsa().Run(data, tree, region, k);
-      IncrementalTopK inc(data, *region.Pivot());
+      QuerySpec spec = Spec(QueryMode::kUtk1, Algorithm::kAuto, k);
+      spec.region = region;
+      QueryResult utk1 = engine.Run(spec);
+      IncrementalTopK inc(engine.data(), *region.Pivot());
       sky_n += static_cast<double>(sky.size());
       onion_n += static_cast<double>(onion.size());
       utk_n += static_cast<double>(utk1.ids.size());

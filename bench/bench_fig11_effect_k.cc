@@ -16,25 +16,36 @@ namespace {
 constexpr double kSigma = 0.05;
 constexpr int kDim = 4;
 
-void EffectK(benchmark::State& state, Algo algo) {
+void EffectK(benchmark::State& state, QueryMode mode, Algorithm algo) {
   const int k = static_cast<int>(state.range(0));
-  const Dataset& data =
+  const Engine& engine =
       Corpus::Synthetic(Distribution::kIndependent, ScaledN(1000), kDim);
-  const RTree& tree = Corpus::Tree(data);
   auto queries = Queries(kDim - 1, kSigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(algo, data, tree, queries, k);
+    BatchResult r = RunBatch(engine, Spec(mode, algo, k), queries);
     r.Counters(state);
     state.counters["k"] = k;
   }
 }
 
-void Fig11a_RSA(benchmark::State& s) { EffectK(s, Algo::kRsa); }
-void Fig11a_SK(benchmark::State& s) { EffectK(s, Algo::kBaselineSk1); }
-void Fig11a_ON(benchmark::State& s) { EffectK(s, Algo::kBaselineOn1); }
-void Fig11b_JAA(benchmark::State& s) { EffectK(s, Algo::kJaa); }
-void Fig11b_SK(benchmark::State& s) { EffectK(s, Algo::kBaselineSk2); }
-void Fig11b_ON(benchmark::State& s) { EffectK(s, Algo::kBaselineOn2); }
+void Fig11a_RSA(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk1, Algorithm::kRsa);
+}
+void Fig11a_SK(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk1, Algorithm::kBaselineSk);
+}
+void Fig11a_ON(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk1, Algorithm::kBaselineOn);
+}
+void Fig11b_JAA(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk2, Algorithm::kJaa);
+}
+void Fig11b_SK(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk2, Algorithm::kBaselineSk);
+}
+void Fig11b_ON(benchmark::State& s) {
+  EffectK(s, QueryMode::kUtk2, Algorithm::kBaselineOn);
+}
 
 #define UTK_FIG11(fn) \
   BENCHMARK(fn)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond) \

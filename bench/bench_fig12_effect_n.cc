@@ -16,35 +16,37 @@ constexpr int kDim = 4;
 constexpr int kK = 10;
 constexpr double kSigma = 0.05;
 
-void EffectN(benchmark::State& state, Algo algo, Distribution dist) {
+void EffectN(benchmark::State& state, QueryMode mode, Algorithm algo,
+             Distribution dist) {
   const int n = ScaledN(static_cast<int>(state.range(0)));
-  const Dataset& data = Corpus::Synthetic(dist, n, kDim);
-  const RTree& tree = Corpus::Tree(data);
+  const Engine& engine = Corpus::Synthetic(dist, n, kDim);
   auto queries = Queries(kDim - 1, kSigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    BatchResult r = RunBatch(engine, Spec(mode, algo, kK), queries);
     r.Counters(state);
     state.counters["n"] = n;
   }
 }
 
 void Fig12_RSA_COR(benchmark::State& s) {
-  EffectN(s, Algo::kRsa, Distribution::kCorrelated);
+  EffectN(s, QueryMode::kUtk1, Algorithm::kRsa, Distribution::kCorrelated);
 }
 void Fig12_RSA_IND(benchmark::State& s) {
-  EffectN(s, Algo::kRsa, Distribution::kIndependent);
+  EffectN(s, QueryMode::kUtk1, Algorithm::kRsa, Distribution::kIndependent);
 }
 void Fig12_RSA_ANTI(benchmark::State& s) {
-  EffectN(s, Algo::kRsa, Distribution::kAnticorrelated);
+  EffectN(s, QueryMode::kUtk1, Algorithm::kRsa,
+          Distribution::kAnticorrelated);
 }
 void Fig12_JAA_COR(benchmark::State& s) {
-  EffectN(s, Algo::kJaa, Distribution::kCorrelated);
+  EffectN(s, QueryMode::kUtk2, Algorithm::kJaa, Distribution::kCorrelated);
 }
 void Fig12_JAA_IND(benchmark::State& s) {
-  EffectN(s, Algo::kJaa, Distribution::kIndependent);
+  EffectN(s, QueryMode::kUtk2, Algorithm::kJaa, Distribution::kIndependent);
 }
 void Fig12_JAA_ANTI(benchmark::State& s) {
-  EffectN(s, Algo::kJaa, Distribution::kAnticorrelated);
+  EffectN(s, QueryMode::kUtk2, Algorithm::kJaa,
+          Distribution::kAnticorrelated);
 }
 
 #define UTK_FIG12(fn) \

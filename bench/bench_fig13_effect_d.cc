@@ -12,21 +12,24 @@ namespace {
 constexpr int kK = 5;
 constexpr double kSigma = 0.04;
 
-void EffectD(benchmark::State& state, Algo algo) {
+void EffectD(benchmark::State& state, QueryMode mode, Algorithm algo) {
   const int d = static_cast<int>(state.range(0));
-  const Dataset& data =
+  const Engine& engine =
       Corpus::Synthetic(Distribution::kIndependent, ScaledN(1000), d);
-  const RTree& tree = Corpus::Tree(data);
   auto queries = Queries(d - 1, kSigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    BatchResult r = RunBatch(engine, Spec(mode, algo, kK), queries);
     r.Counters(state);
     state.counters["d"] = d;
   }
 }
 
-void Fig13_RSA(benchmark::State& s) { EffectD(s, Algo::kRsa); }
-void Fig13_JAA(benchmark::State& s) { EffectD(s, Algo::kJaa); }
+void Fig13_RSA(benchmark::State& s) {
+  EffectD(s, QueryMode::kUtk1, Algorithm::kRsa);
+}
+void Fig13_JAA(benchmark::State& s) {
+  EffectD(s, QueryMode::kUtk2, Algorithm::kJaa);
+}
 
 BENCHMARK(Fig13_RSA)
     ->DenseRange(2, 7)

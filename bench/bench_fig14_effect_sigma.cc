@@ -15,21 +15,24 @@ constexpr int kK = 10;
 // sigma indices map to the paper's tested values.
 constexpr double kSigmas[] = {0.001, 0.005, 0.01, 0.05, 0.10};
 
-void EffectSigma(benchmark::State& state, Algo algo) {
+void EffectSigma(benchmark::State& state, QueryMode mode, Algorithm algo) {
   const double sigma = kSigmas[state.range(0)];
-  const Dataset& data =
+  const Engine& engine =
       Corpus::Synthetic(Distribution::kIndependent, ScaledN(4000), kDim);
-  const RTree& tree = Corpus::Tree(data);
   auto queries = Queries(kDim - 1, sigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(algo, data, tree, queries, kK);
+    BatchResult r = RunBatch(engine, Spec(mode, algo, kK), queries);
     r.Counters(state);
     state.counters["sigma_pct"] = sigma * 100.0;
   }
 }
 
-void Fig14_RSA(benchmark::State& s) { EffectSigma(s, Algo::kRsa); }
-void Fig14_JAA(benchmark::State& s) { EffectSigma(s, Algo::kJaa); }
+void Fig14_RSA(benchmark::State& s) {
+  EffectSigma(s, QueryMode::kUtk1, Algorithm::kRsa);
+}
+void Fig14_JAA(benchmark::State& s) {
+  EffectSigma(s, QueryMode::kUtk2, Algorithm::kJaa);
+}
 
 BENCHMARK(Fig14_RSA)
     ->DenseRange(0, 4)

@@ -17,12 +17,11 @@ constexpr int kBaseN[] = {4000, 3000, 1500};
 
 void RealK(benchmark::State& state, int kind) {
   const int k = static_cast<int>(state.range(0));
-  const Dataset& data = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
-  const RTree& tree = Corpus::Tree(data);
-  const int pref_dim = DataDim(data) - 1;
-  auto queries = Queries(pref_dim, kSigma);
+  const Engine& engine = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
+  auto queries = Queries(engine.pref_dim(), kSigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(Algo::kJaa, data, tree, queries, k);
+    BatchResult r =
+        RunBatch(engine, Spec(QueryMode::kUtk2, Algorithm::kJaa, k), queries);
     r.Counters(state);
     state.counters["k"] = k;
   }

@@ -14,12 +14,11 @@ constexpr int kBaseN[] = {4000, 3000, 1500};
 
 void RealSigma(benchmark::State& state, int kind) {
   const double sigma = kSigmas[state.range(0)];
-  const Dataset& data = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
-  const RTree& tree = Corpus::Tree(data);
-  const int pref_dim = DataDim(data) - 1;
-  auto queries = Queries(pref_dim, sigma);
+  const Engine& engine = Corpus::Realistic(kind, ScaledN(kBaseN[kind]));
+  auto queries = Queries(engine.pref_dim(), sigma);
   for (auto _ : state) {
-    BatchResult r = RunBatch(Algo::kJaa, data, tree, queries, kK);
+    BatchResult r = RunBatch(
+        engine, Spec(QueryMode::kUtk2, Algorithm::kJaa, kK), queries);
     r.Counters(state);
     state.counters["sigma_pct"] = sigma * 100.0;
   }

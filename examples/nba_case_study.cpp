@@ -10,10 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/jaa.h"
-#include "core/rsa.h"
+#include "api/engine.h"
 #include "data/realistic.h"
-#include "index/rtree.h"
 #include "skyline/onion.h"
 #include "skyline/skyband.h"
 
@@ -42,39 +40,41 @@ int main(int argc, char** argv) {
   Dataset league = GenerateNbaLike(n, seed);
 
   // ---- Figure 9(a): 2D (rebounds, points), k = 3, R = [0.64, 0.74]. ----
-  Dataset d2 = Project(league, {1, 0});  // rebounds, points
-  RTree tree2 = RTree::BulkLoad(d2);
-  const int k = 3;
-  ConvexRegion r2 = ConvexRegion::FromBox({0.64}, {0.74});
+  Engine engine2(Project(league, {1, 0}));  // rebounds, points
+  QuerySpec spec;
+  spec.mode = QueryMode::kUtk1;
+  spec.k = 3;
+  spec.region = ConvexRegion::FromBox({0.64}, {0.74});
 
-  Utk1Result utk1 = Rsa().Run(d2, tree2, r2, k);
+  QueryResult utk1 = engine2.Run(spec);
   QueryStats tmp;
-  auto onion = OnionCandidates(d2, tree2, k, &tmp);
-  auto skyband = KSkyband(d2, tree2, k);
+  auto onion = OnionCandidates(engine2.data(), engine2.tree(), spec.k, &tmp);
+  auto skyband = KSkyband(engine2.data(), engine2.tree(), spec.k);
 
   std::printf("== Figure 9(a): d=2 (rebounds, points), k=3, R=[0.64,0.74]\n");
-  std::printf("   UTK1 players:     %zu\n", utk1.ids.size());
+  std::printf("   UTK1 players:     %zu (via %s)\n", utk1.ids.size(),
+              AlgorithmName(utk1.algorithm));
   std::printf("   3 onion layers:   %zu\n", onion.size());
   std::printf("   3-skyband:        %zu\n", skyband.size());
   std::printf("   (paper: 4 / 11 / 13 on the real 2016-17 season)\n");
   std::printf("   UTK1 player stats (reb, pts):\n");
   for (int32_t id : utk1.ids)
-    std::printf("     player#%d: (%.1f, %.1f)\n", id, d2[id].attrs[0],
-                d2[id].attrs[1]);
+    std::printf("     player#%d: (%.1f, %.1f)\n", id,
+                engine2.data()[id].attrs[0], engine2.data()[id].attrs[1]);
 
   // ---- Figure 9(b): 3D (+assists), k = 3, R = [0.2,0.3] x [0.5,0.6]. ----
-  Dataset d3 = Project(league, {1, 0, 2});  // rebounds, points, assists
-  RTree tree3 = RTree::BulkLoad(d3);
-  ConvexRegion r3 = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
-  Utk2Result utk2 = Jaa().Run(d3, tree3, r3, k);
+  Engine engine3(Project(league, {1, 0, 2}));  // rebounds, points, assists
+  spec.mode = QueryMode::kUtk2;
+  spec.region = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
+  QueryResult utk2 = engine3.Run(spec);
 
   std::printf("\n== Figure 9(b): d=3 (+assists), k=3, R=[0.2,0.3]x[0.5,0.6]\n");
   std::printf("   UTK2 cells: %zu, distinct top-3 sets: %lld, players: %zu\n",
-              utk2.cells.size(),
-              static_cast<long long>(utk2.NumDistinctTopkSets()),
-              utk2.AllRecords().size());
+              utk2.utk2.cells.size(),
+              static_cast<long long>(utk2.utk2.NumDistinctTopkSets()),
+              utk2.ids.size());
   int shown = 0;
-  for (const Utk2Cell& cell : utk2.cells) {
+  for (const Utk2Cell& cell : utk2.utk2.cells) {
     if (shown++ >= 6) {
       std::printf("   ...\n");
       break;

@@ -9,11 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/rsa.h"
+#include "api/engine.h"
 #include "core/topk.h"
 #include "data/realistic.h"
 #include "data/workload.h"
-#include "index/rtree.h"
 #include "skyline/onion.h"
 #include "skyline/skyband.h"
 
@@ -25,21 +24,24 @@ int main(int argc, char** argv) {
   Dataset nba = GenerateNbaLike(n, 99);
   // Use the first 4 stats to keep onion peeling fast in this demo.
   for (Record& r : nba) r.attrs.resize(4);
-  RTree tree = RTree::BulkLoad(nba);
+  Engine engine(std::move(nba));
 
   Rng rng(1);
-  ConvexRegion region = RandomQueryBox(3, sigma, rng);
-  auto pivot = region.Pivot();
+  QuerySpec spec;
+  spec.mode = QueryMode::kUtk1;
+  spec.region = RandomQueryBox(3, sigma, rng);
+  auto pivot = spec.region.Pivot();
 
   std::printf("NBA-like data, n=%d, d=4, sigma=%.2f\n\n", n, sigma);
   std::printf("%6s %12s %8s %8s %12s %10s\n", "k", "k-skyband", "onion",
               "UTK1", "TK needed", "TK output");
   for (int k : {1, 2, 5, 10}) {
-    auto skyband = KSkyband(nba, tree, k);
-    auto onion = OnionCandidates(nba, tree, k);
-    auto utk1 = Rsa().Run(nba, tree, region, k);
+    spec.k = k;
+    auto skyband = KSkyband(engine.data(), engine.tree(), k);
+    auto onion = OnionCandidates(engine.data(), engine.tree(), k);
+    QueryResult utk1 = engine.Run(spec);
     // Figure 10(b): how large must a plain top-k' be to cover UTK1?
-    IncrementalTopK inc(nba, *pivot);
+    IncrementalTopK inc(engine.data(), *pivot);
     const int needed = inc.PrefixCovering(utk1.ids);
     std::printf("%6d %12zu %8zu %8zu %12d %10d\n", k, skyband.size(),
                 onion.size(), utk1.ids.size(), needed, needed);

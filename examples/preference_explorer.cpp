@@ -8,6 +8,8 @@
 //   * the UTK1 set under the expanded region, and
 //   * how the top-k set changes across the region (UTK2 cells),
 // demonstrating how fragile an exact-weight top-k recommendation is.
+// The UTK1 and UTK2 queries are independent, so they go through one
+// Engine::RunBatch call and execute concurrently.
 //
 // Run:  ./example_preference_explorer [n] [k] [w1] [w2] [w3] [leeway]
 #include <algorithm>
@@ -15,11 +17,8 @@
 #include <cstdlib>
 #include <set>
 
-#include "core/jaa.h"
-#include "core/rsa.h"
-#include "core/topk.h"
+#include "api/engine.h"
 #include "data/realistic.h"
-#include "index/rtree.h"
 
 int main(int argc, char** argv) {
   using namespace utk;
@@ -42,35 +41,45 @@ int main(int argc, char** argv) {
   // Project to 3 attributes (Service, Cleanliness, Location) to match the
   // story; the 4th (Value) is ignored here.
   for (Record& r : hotels) r.attrs.resize(3);
-  RTree tree = RTree::BulkLoad(hotels);
+  Engine engine(std::move(hotels));
 
   const Vec w = {w1, w2};
-  std::vector<int32_t> exact = TopK(hotels, w, k);
+  std::vector<int32_t> exact = engine.TopK(w, k);
   std::printf("\nPlain top-%d at the estimated weights:\n", k);
-  for (int32_t id : exact)
-    std::printf("  hotel#%d  (%.2f, %.2f, %.2f)\n", id, hotels[id].attrs[0],
-                hotels[id].attrs[1], hotels[id].attrs[2]);
+  for (int32_t id : exact) {
+    const Record& h = engine.data()[id];
+    std::printf("  hotel#%d  (%.2f, %.2f, %.2f)\n", id, h.attrs[0], h.attrs[1],
+                h.attrs[2]);
+  }
 
-  ConvexRegion region = ConvexRegion::FromBox(
+  QuerySpec spec;
+  spec.k = k;
+  spec.region = ConvexRegion::FromBox(
       {std::max(0.0, w1 - leeway), std::max(0.0, w2 - leeway)},
       {std::min(1.0, w1 + leeway), std::min(1.0, w2 + leeway)});
 
-  Utk1Result utk1 = Rsa().Run(hotels, tree, region, k);
-  std::printf("\nUTK1 with leeway (%zu hotels may enter the top-%d):\n",
-              utk1.ids.size(), k);
+  // One batch, two independent queries: UTK1 and UTK2 over the same region.
+  std::vector<QuerySpec> specs(2, spec);
+  specs[0].mode = QueryMode::kUtk1;
+  specs[1].mode = QueryMode::kUtk2;
+  BatchQueryResult batch = engine.RunBatch(specs);
+  const QueryResult& utk1 = batch.results[0];
+  const QueryResult& utk2 = batch.results[1];
+
+  std::printf("\nUTK1 with leeway (%zu hotels may enter the top-%d, via %s):\n",
+              utk1.ids.size(), k, AlgorithmName(utk1.algorithm));
   std::set<int32_t> exact_set(exact.begin(), exact.end());
   for (int32_t id : utk1.ids) {
     std::printf("  hotel#%d%s\n", id,
                 exact_set.count(id) ? "" : "   <-- hidden by exact weights");
   }
 
-  Utk2Result utk2 = Jaa().Run(hotels, tree, region, k);
+  const long long sets =
+      static_cast<long long>(utk2.utk2.NumDistinctTopkSets());
   std::printf("\nUTK2: %zu preference pockets, %lld distinct top-%d sets\n",
-              utk2.cells.size(),
-              static_cast<long long>(utk2.NumDistinctTopkSets()), k);
+              utk2.utk2.cells.size(), sets, k);
   std::printf("Sensitivity: a ±%.0f%% weight error spans %lld different "
               "recommendation lists.\n",
-              leeway * 100,
-              static_cast<long long>(utk2.NumDistinctTopkSets()));
+              leeway * 100, sets);
   return 0;
 }

@@ -4,13 +4,19 @@
 //   generate  --dist IND|COR|ANTI|HOTEL|HOUSE|NBA --n N --dim D --seed S
 //             --out FILE.csv
 //   utk1      --data FILE.csv --k K --box lo1,hi1,lo2,hi2,...   (pref domain)
-//   utk2      --data FILE.csv --k K --box ...
+//             [--algo auto|rsa|jaa|sk|on|naive]
+//   utk2      --data FILE.csv --k K --box ...  [--algo auto|jaa|sk|on]
 //   topk      --data FILE.csv --k K --weights w1,w2,...         (full domain)
 //   immutable --data FILE.csv --k K --weights w1,w2,...
+//
+// All UTK dispatch goes through utk::Engine: the CLI builds one engine per
+// dataset (R-tree included) and submits a declarative QuerySpec; --algo
+// defaults to auto, letting the engine plan.
 //
 // Examples:
 //   utk_cli generate --dist ANTI --n 10000 --dim 4 --out anti.csv
 //   utk_cli utk1 --data anti.csv --k 10 --box 0.1,0.2,0.1,0.2,0.1,0.2
+//   utk_cli utk2 --data anti.csv --k 5 --box 0.1,0.2,0.1,0.2,0.1,0.2 --algo jaa
 //   utk_cli topk --data anti.csv --k 5 --weights 0.3,0.3,0.2,0.2
 #include <cstdio>
 #include <cstdlib>
@@ -20,14 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/extensions.h"
-#include "core/jaa.h"
-#include "core/rsa.h"
-#include "core/topk.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/realistic.h"
-#include "index/rtree.h"
 
 namespace {
 
@@ -63,18 +66,18 @@ int Usage() {
   return 2;
 }
 
-Dataset LoadOrDie(const std::map<std::string, std::string>& flags) {
+Engine EngineOrDie(const std::map<std::string, std::string>& flags) {
   auto it = flags.find("data");
   if (it == flags.end()) {
     std::fprintf(stderr, "error: --data FILE.csv is required\n");
     std::exit(2);
   }
-  auto data = LoadCsvFile(it->second);
-  if (!data.has_value()) {
+  auto engine = Engine::FromCsvFile(it->second);
+  if (!engine.has_value()) {
     std::fprintf(stderr, "error: cannot parse %s\n", it->second.c_str());
     std::exit(1);
   }
-  return std::move(*data);
+  return std::move(*engine);
 }
 
 ConvexRegion BoxOrDie(const std::map<std::string, std::string>& flags,
@@ -132,29 +135,49 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdUtk(const std::map<std::string, std::string>& flags, bool second) {
-  Dataset data = LoadOrDie(flags);
-  const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
-  ConvexRegion region = BoxOrDie(flags, DataDim(data) - 1);
-  RTree tree = RTree::BulkLoad(data);
+  Engine engine = EngineOrDie(flags);
+  QuerySpec spec;
+  spec.mode = second ? QueryMode::kUtk2 : QueryMode::kUtk1;
+  spec.k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  spec.region = BoxOrDie(flags, engine.pref_dim());
+  if (flags.count("algo")) {
+    auto algo = ParseAlgorithm(flags.at("algo"));
+    if (!algo.has_value()) {
+      std::fprintf(stderr, "error: unknown --algo %s\n",
+                   flags.at("algo").c_str());
+      return 2;
+    }
+    spec.algorithm = *algo;
+  }
+  QueryResult r = engine.Run(spec);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
   if (!second) {
-    Utk1Result r = Rsa().Run(data, tree, region, k);
-    std::printf("UTK1: %zu records\n", r.ids.size());
+    std::printf("UTK1: %zu records (via %s)\n", r.ids.size(),
+                AlgorithmName(r.algorithm));
     for (int32_t id : r.ids) std::printf("%d\n", id);
-    std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
+  } else if (!r.per_record.records.empty()) {
+    std::printf("UTK2: %lld cells over %zu records (via %s)\n",
+                static_cast<long long>(r.per_record.TotalCells()),
+                r.ids.size(), AlgorithmName(r.algorithm));
+    for (const auto& rec : r.per_record.records)
+      std::printf("record %d: %zu cells\n", rec.id, rec.cells.size());
   } else {
-    Utk2Result r = Jaa().Run(data, tree, region, k);
-    std::printf("UTK2: %zu cells, %lld distinct top-%d sets\n",
-                r.cells.size(),
-                static_cast<long long>(r.NumDistinctTopkSets()), k);
-    for (const Utk2Cell& cell : r.cells) {
+    std::printf("UTK2: %zu cells, %lld distinct top-%d sets (via %s)\n",
+                r.utk2.cells.size(),
+                static_cast<long long>(r.utk2.NumDistinctTopkSets()), spec.k,
+                AlgorithmName(r.algorithm));
+    for (const Utk2Cell& cell : r.utk2.cells) {
       std::printf("witness");
       for (Scalar w : cell.witness) std::printf(" %.6f", w);
       std::printf(" topk");
       for (int32_t id : cell.topk) std::printf(" %d", id);
       std::printf("\n");
     }
-    std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
   }
+  std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
   return 0;
 }
 
@@ -176,18 +199,18 @@ Vec WeightsOrDie(const std::map<std::string, std::string>& flags, int dim) {
 }
 
 int CmdTopk(const std::map<std::string, std::string>& flags) {
-  Dataset data = LoadOrDie(flags);
+  Engine engine = EngineOrDie(flags);
   const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
-  Vec w = WeightsOrDie(flags, DataDim(data));
-  for (int32_t id : TopK(data, w, k)) std::printf("%d\n", id);
+  Vec w = WeightsOrDie(flags, engine.dim());
+  for (int32_t id : engine.TopK(w, k)) std::printf("%d\n", id);
   return 0;
 }
 
 int CmdImmutable(const std::map<std::string, std::string>& flags) {
-  Dataset data = LoadOrDie(flags);
+  Engine engine = EngineOrDie(flags);
   const int k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
-  Vec w = WeightsOrDie(flags, DataDim(data));
-  auto res = ImmutableRegion(data, w, k);
+  Vec w = WeightsOrDie(flags, engine.dim());
+  auto res = ImmutableRegion(engine.data(), w, k);
   std::printf("top-%d:", k);
   for (int32_t id : res.topk) std::printf(" %d", id);
   std::printf("\nimmutable region: %zu half-space constraints\n",

@@ -1,0 +1,128 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+#include "core/baseline.h"
+#include "core/jaa.h"
+#include "core/naive.h"
+#include "core/rsa.h"
+#include "core/topk.h"
+#include "data/io.h"
+
+namespace utk {
+namespace {
+
+QueryResult Fail(const QuerySpec& spec, std::string why) {
+  QueryResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  r.mode = spec.mode;
+  r.algorithm = spec.algorithm;
+  return r;
+}
+
+}  // namespace
+
+Engine::Engine(Dataset data)
+    : data_(std::move(data)), tree_(RTree::BulkLoad(data_)) {}
+
+std::optional<Engine> Engine::FromCsvFile(const std::string& path) {
+  std::optional<Dataset> data = LoadCsvFile(path);
+  if (!data.has_value() || data->empty()) return std::nullopt;
+  return Engine(std::move(*data));
+}
+
+Algorithm Engine::Plan(const QuerySpec& spec) const {
+  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
+  return ChooseAlgorithm(spec.mode, size(), pref_dim());
+}
+
+QueryResult Engine::Run(const QuerySpec& spec) const {
+  if (data_.empty()) return Fail(spec, "engine holds an empty dataset");
+  if (spec.k < 1) return Fail(spec, "k must be >= 1");
+  if (spec.region.dim() != pref_dim())
+    return Fail(spec, "region has " + std::to_string(spec.region.dim()) +
+                          " preference dims, dataset needs " +
+                          std::to_string(pref_dim()));
+  if (!spec.region.HasInteriorPoint())
+    return Fail(spec, "query region has empty interior");
+
+  const Algorithm algo = Plan(spec);
+  if (spec.mode == QueryMode::kUtk2 &&
+      (algo == Algorithm::kRsa || algo == Algorithm::kNaive))
+    return Fail(spec, std::string(AlgorithmName(algo)) +
+                          " answers UTK1 only; use JAA or a baseline for "
+                          "UTK2");
+
+  QueryResult r;
+  r.mode = spec.mode;
+  r.algorithm = algo;
+  switch (algo) {
+    case Algorithm::kAuto:  // unreachable: Plan() resolved it
+      return Fail(spec, "planner returned kAuto");
+    case Algorithm::kRsa: {
+      Rsa::Options opt;
+      opt.use_drill = spec.use_drill;
+      opt.use_lemma1 = spec.use_lemma1;
+      opt.wave_cap = spec.wave_cap;
+      Utk1Result res = Rsa(opt).Run(data_, tree_, spec.region, spec.k);
+      r.ids = std::move(res.ids);
+      r.stats = res.stats;
+      break;
+    }
+    case Algorithm::kJaa: {
+      Jaa::Options opt;
+      opt.use_lemma1 = spec.use_lemma1;
+      opt.wave_cap = spec.wave_cap;
+      r.utk2 = Jaa(opt).Run(data_, tree_, spec.region, spec.k);
+      r.ids = r.utk2.AllRecords();
+      r.stats = r.utk2.stats;
+      break;
+    }
+    case Algorithm::kBaselineSk:
+    case Algorithm::kBaselineOn: {
+      Baseline b(algo == Algorithm::kBaselineSk ? BaselineFilter::kSkyband
+                                                : BaselineFilter::kOnion);
+      if (spec.mode == QueryMode::kUtk1) {
+        Utk1Result res = b.RunUtk1(data_, tree_, spec.region, spec.k);
+        r.ids = std::move(res.ids);
+        r.stats = res.stats;
+      } else {
+        r.per_record = b.RunUtk2(data_, tree_, spec.region, spec.k);
+        r.ids = r.per_record.AllRecords();
+        r.stats = r.per_record.stats;
+      }
+      break;
+    }
+    case Algorithm::kNaive: {
+      Timer timer;
+      r.ids = NaiveUtk1(data_, spec.region, spec.k);
+      r.stats.candidates = size();
+      r.stats.elapsed_ms = timer.ElapsedMs();
+      break;
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+BatchQueryResult Engine::RunBatch(std::span<const QuerySpec> specs,
+                                  int threads) const {
+  BatchQueryResult batch;
+  batch.results.resize(specs.size());
+  ParallelFor(static_cast<int>(specs.size()),
+              threads <= 0 ? DefaultThreads() : threads,
+              [&](int i) { batch.results[i] = Run(specs[i]); });
+  for (const QueryResult& r : batch.results) {
+    batch.total += r.stats;
+    if (!r.ok) ++batch.failed;
+  }
+  return batch;
+}
+
+std::vector<int32_t> Engine::TopK(const Vec& w, int k) const {
+  return TopKRTree(data_, tree_, w, k);
+}
+
+}  // namespace utk

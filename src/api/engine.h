@@ -1,0 +1,74 @@
+// utk::Engine — the single entry point for answering UTK queries.
+//
+// An Engine owns a Dataset and its R-tree (built once, Section 3.1), accepts
+// declarative QuerySpecs, and dispatches to the right algorithm — RSA, JAA,
+// the SK/ON baselines, or the naive oracle — picking one itself under
+// Algorithm::kAuto. Independent queries run concurrently via RunBatch with
+// deterministic, input-ordered results. All examples, benchmarks, and
+// integration tests go through this facade; only unit tests construct the
+// algorithm classes directly.
+#ifndef UTK_API_ENGINE_H_
+#define UTK_API_ENGINE_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "common/types.h"
+#include "index/rtree.h"
+
+namespace utk {
+
+/// Results of a RunBatch call, input-ordered.
+struct BatchQueryResult {
+  std::vector<QueryResult> results;  ///< results[i] answers specs[i]
+  QueryStats total;                  ///< stats merged over all results
+  int failed = 0;                    ///< number of results with !ok
+};
+
+class Engine {
+ public:
+  /// Takes ownership of `data` and bulk-loads the R-tree once. The dataset
+  /// must satisfy the repo invariant data[i].id == i (all generators and
+  /// loaders do).
+  explicit Engine(Dataset data);
+
+  /// Loads a CSV dataset (see data/io.h) and builds an engine over it.
+  /// Returns nullopt when the file is missing, malformed, or empty.
+  static std::optional<Engine> FromCsvFile(const std::string& path);
+
+  const Dataset& data() const { return data_; }
+  const RTree& tree() const { return tree_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int dim() const { return DataDim(data_); }
+  int pref_dim() const { return PrefDim(dim()); }
+
+  /// The algorithm `spec` will execute with: resolves kAuto against this
+  /// engine's dataset, leaves explicit choices untouched.
+  Algorithm Plan(const QuerySpec& spec) const;
+
+  /// Answers one query. Invalid specs (k < 1, region dimensionality
+  /// mismatch, algorithm/mode combinations that cannot answer — e.g. RSA
+  /// for UTK2) come back with ok == false and a diagnostic, never a crash.
+  QueryResult Run(const QuerySpec& spec) const;
+
+  /// Answers independent queries concurrently (threads <= 0 means
+  /// DefaultThreads()). results[i] always answers specs[i] and equals what
+  /// Run(specs[i]) returns — thread count never changes the output.
+  BatchQueryResult RunBatch(std::span<const QuerySpec> specs,
+                            int threads = 0) const;
+
+  /// Convenience: the plain top-k for reduced weight vector `w`, answered
+  /// over the engine's R-tree (branch-and-bound, no dataset scan).
+  std::vector<int32_t> TopK(const Vec& w, int k) const;
+
+ private:
+  Dataset data_;
+  RTree tree_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_API_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "api/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace utk {
+namespace {
+
+/// Largest dataset the kAuto planner hands to the naive oracle. Naive UTK1
+/// solves one LP-enumeration per record with every other record as a
+/// competitor, so it only wins while n is tiny; beyond this the r-skyband
+/// filtering amortizes immediately.
+constexpr int64_t kAutoNaiveMaxN = 48;
+
+/// The naive oracle enumerates subsets of competitor half-spaces, which is
+/// exponential in the preference dimensionality; kAuto never picks it above
+/// this many preference dimensions.
+constexpr int kAutoNaiveMaxPrefDim = 4;
+
+}  // namespace
+
+const char* QueryModeName(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kUtk1: return "UTK1";
+    case QueryMode::kUtk2: return "UTK2";
+  }
+  return "?";
+}
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAuto: return "AUTO";
+    case Algorithm::kRsa: return "RSA";
+    case Algorithm::kJaa: return "JAA";
+    case Algorithm::kBaselineSk: return "SK";
+    case Algorithm::kBaselineOn: return "ON";
+    case Algorithm::kNaive: return "NAIVE";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> ParseAlgorithm(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "auto") return Algorithm::kAuto;
+  if (s == "rsa") return Algorithm::kRsa;
+  if (s == "jaa") return Algorithm::kJaa;
+  if (s == "sk") return Algorithm::kBaselineSk;
+  if (s == "on") return Algorithm::kBaselineOn;
+  if (s == "naive") return Algorithm::kNaive;
+  return std::nullopt;
+}
+
+Algorithm ChooseAlgorithm(QueryMode mode, int64_t n, int pref_dim) {
+  if (mode == QueryMode::kUtk2) return Algorithm::kJaa;
+  if (n <= kAutoNaiveMaxN && pref_dim <= kAutoNaiveMaxPrefDim)
+    return Algorithm::kNaive;
+  return Algorithm::kRsa;
+}
+
+}  // namespace utk

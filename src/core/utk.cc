@@ -1,23 +1,34 @@
 #include "core/utk.h"
 
 #include <algorithm>
-#include <set>
 
 namespace utk {
 
 std::vector<int32_t> Utk2Result::AllRecords() const {
-  std::set<int32_t> all;
-  for (const Utk2Cell& c : cells) all.insert(c.topk.begin(), c.topk.end());
-  return {all.begin(), all.end()};
+  std::vector<int32_t> all;
+  size_t total = 0;
+  for (const Utk2Cell& c : cells) total += c.topk.size();
+  all.reserve(total);
+  for (const Utk2Cell& c : cells)
+    all.insert(all.end(), c.topk.begin(), c.topk.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
 }
 
 int64_t Utk2Result::NumDistinctTopkSets() const {
-  std::set<std::vector<int32_t>> sets;
+  // Cell top-k sets are already sorted ascending (the algorithms emit them
+  // that way), so sorting the flat list of sets and deduplicating adjacent
+  // duplicates counts distinct sets without a node-per-set std::set.
+  std::vector<std::vector<int32_t>> sets;
+  sets.reserve(cells.size());
   for (const Utk2Cell& c : cells) {
     std::vector<int32_t> s = c.topk;
-    std::sort(s.begin(), s.end());
-    sets.insert(std::move(s));
+    if (!std::is_sorted(s.begin(), s.end())) std::sort(s.begin(), s.end());
+    sets.push_back(std::move(s));
   }
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
   return static_cast<int64_t>(sets.size());
 }
 

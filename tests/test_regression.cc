@@ -1,37 +1,50 @@
 // Golden regression tests: fixed seeds, exact expected outputs. These pin
-// down end-to-end determinism (generator -> R-tree -> RSA/JAA) so that
+// down end-to-end determinism (generator -> Engine -> RSA/JAA) so that
 // refactors that change results get caught even when all invariants hold.
 #include <gtest/gtest.h>
 
-#include "core/jaa.h"
+#include "api/engine.h"
 #include "core/naive.h"
-#include "core/rsa.h"
 #include "data/generator.h"
 #include "data/realistic.h"
-#include "index/rtree.h"
 
 namespace utk {
 namespace {
 
+QuerySpec MakeSpec(QueryMode mode, Algorithm algo, int k,
+                   ConvexRegion region) {
+  QuerySpec spec;
+  spec.mode = mode;
+  spec.algorithm = algo;
+  spec.k = k;
+  spec.region = std::move(region);
+  return spec;
+}
+
 TEST(Regression, Ind300K5) {
-  Dataset data = Generate(Distribution::kIndependent, 300, 3, 20240612);
-  RTree tree = RTree::BulkLoad(data);
+  Engine engine(Generate(Distribution::kIndependent, 300, 3, 20240612));
   ConvexRegion region = ConvexRegion::FromBox({0.2, 0.3}, {0.35, 0.45});
-  Utk1Result r = Rsa().Run(data, tree, region, 5);
-  EXPECT_EQ(r.ids, NaiveUtk1(data, region, 5));  // self-validating golden
+  QueryResult r =
+      engine.Run(MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 5, region));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ids, NaiveUtk1(engine.data(), region, 5));  // self-validating
   EXPECT_EQ(r.ids.size(), 7u);
-  Utk2Result r2 = Jaa().Run(data, tree, region, 5);
-  EXPECT_EQ(r2.AllRecords(), r.ids);
-  EXPECT_EQ(r2.NumDistinctTopkSets(), 3);
+  QueryResult r2 =
+      engine.Run(MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 5, region));
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r2.ids, r.ids);
+  EXPECT_EQ(r2.utk2.NumDistinctTopkSets(), 3);
 }
 
 TEST(Regression, DeterministicAcrossRuns) {
   Dataset data = GenerateHotelLike(800, 99);
   for (Record& r : data) r.attrs.resize(3);
-  RTree tree = RTree::BulkLoad(data);
-  ConvexRegion region = ConvexRegion::FromBox({0.25, 0.45}, {0.35, 0.55});
-  Utk1Result a = Rsa().Run(data, tree, region, 4);
-  Utk1Result b = Rsa().Run(data, tree, region, 4);
+  Engine engine(std::move(data));
+  QuerySpec spec =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 4,
+               ConvexRegion::FromBox({0.25, 0.45}, {0.35, 0.55}));
+  QueryResult a = engine.Run(spec);
+  QueryResult b = engine.Run(spec);
   EXPECT_EQ(a.ids, b.ids);
   EXPECT_EQ(a.stats.lp_calls, b.stats.lp_calls);
   EXPECT_EQ(a.stats.cells_created, b.stats.cells_created);
@@ -39,11 +52,12 @@ TEST(Regression, DeterministicAcrossRuns) {
 
 TEST(Regression, FigureOneStatsEnvelope) {
   // The quickstart workload should stay cheap: a budget regression guard.
-  Dataset data = FigureOneHotels();
-  RTree tree = RTree::BulkLoad(data);
-  ConvexRegion region = ConvexRegion::FromBox({0.05, 0.05}, {0.45, 0.25});
-  Utk2Result r = Jaa().Run(data, tree, region, 2);
-  EXPECT_EQ(r.AllRecords(), (std::vector<int32_t>{0, 1, 3, 5}));
+  Engine engine(FigureOneHotels());
+  QueryResult r = engine.Run(
+      MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 2,
+               ConvexRegion::FromBox({0.05, 0.05}, {0.45, 0.25})));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ids, (std::vector<int32_t>{0, 1, 3, 5}));
   EXPECT_LE(r.stats.lp_calls, 200);
   EXPECT_LE(r.stats.cells_created, 40);
 }
