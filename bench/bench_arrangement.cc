@@ -1,5 +1,9 @@
-// Microbenchmark of the arrangement index (Section 4.5): cell growth, LP
-// cost, and the effect of the freeze threshold as half-spaces are inserted.
+// Arrangement-cost benchmark (Section 4.5): how local-arrangement size and
+// the freeze threshold drive cells, LP calls, and memory. End-to-end
+// measurements go through the PR-1 utk::Engine facade and the bench_common
+// harness (Corpus-memoized engines, QuerySpec dispatch); only the point-
+// location microbenchmark touches CellArrangement directly, the same way
+// unit tests do, because no query path exposes raw point location.
 // Not a paper figure; substantiates the §4.5 implementation discussion.
 #include "bench_common.h"
 
@@ -9,6 +13,49 @@
 namespace utk {
 namespace bench {
 namespace {
+
+/// Effect of the per-wave arrangement cap (QuerySpec::wave_cap) on JAA's
+/// UTK2 processing: larger waves mean bigger, more expensive local
+/// arrangements but fewer Verify recursions.
+void WaveCapEffect(benchmark::State& state) {
+  const int wave_cap = static_cast<int>(state.range(0));
+  const Engine& engine =
+      Corpus::Synthetic(Distribution::kAnticorrelated, ScaledN(400), 3);
+  auto queries = Queries(engine.pref_dim(), 0.08);
+  QuerySpec spec = Spec(QueryMode::kUtk2, Algorithm::kJaa, 5);
+  spec.wave_cap = wave_cap;
+  for (auto _ : state) {
+    BatchResult r = RunBatch(engine, spec, queries);
+    r.Counters(state);
+  }
+}
+BENCHMARK(WaveCapEffect)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Arrangement work inside RSA's verification, with and without the drill
+/// short-circuit that keeps local arrangements from being built at all.
+void DrillShortCircuit(benchmark::State& state) {
+  const bool use_drill = state.range(0) != 0;
+  const Engine& engine =
+      Corpus::Synthetic(Distribution::kAnticorrelated, ScaledN(400), 3);
+  auto queries = Queries(engine.pref_dim(), 0.08);
+  QuerySpec spec = Spec(QueryMode::kUtk1, Algorithm::kRsa, 5);
+  spec.use_drill = use_drill;
+  for (auto _ : state) {
+    BatchResult r = RunBatch(engine, spec, queries);
+    r.Counters(state);
+  }
+}
+BENCHMARK(DrillShortCircuit)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 std::vector<Halfspace> RandomHalfspaces(int count, int dim, uint64_t seed) {
   Rng rng(seed);
@@ -24,50 +71,9 @@ std::vector<Halfspace> RandomHalfspaces(int count, int dim, uint64_t seed) {
   return hs;
 }
 
-void InsertionScaling(benchmark::State& state) {
-  const int count = static_cast<int>(state.range(0));
-  const int dim = 3;
-  auto hs = RandomHalfspaces(count, dim, 99);
-  ConvexRegion base = ConvexRegion::FromBox(Vec(dim, 0.05), Vec(dim, 0.30));
-  for (auto _ : state) {
-    QueryStats stats;
-    CellArrangement arr(base, &stats);
-    for (int i = 0; i < count; ++i) arr.Insert(i, hs[i]);
-    state.counters["cells"] = static_cast<double>(arr.cells().size());
-    state.counters["lp_calls"] = static_cast<double>(stats.lp_calls);
-    state.counters["mem_KB"] = arr.MemoryBytes() / 1024.0;
-  }
-}
-BENCHMARK(InsertionScaling)
-    ->Arg(4)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(32)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
-
-void FreezeThresholdEffect(benchmark::State& state) {
-  const int threshold = static_cast<int>(state.range(0));
-  const int dim = 3;
-  auto hs = RandomHalfspaces(24, dim, 100);
-  ConvexRegion base = ConvexRegion::FromBox(Vec(dim, 0.05), Vec(dim, 0.30));
-  for (auto _ : state) {
-    QueryStats stats;
-    CellArrangement arr(base, &stats);
-    arr.set_freeze_threshold(threshold);
-    for (int i = 0; i < 24; ++i) arr.Insert(i, hs[i]);
-    state.counters["cells"] = static_cast<double>(arr.cells().size());
-    state.counters["lp_calls"] = static_cast<double>(stats.lp_calls);
-  }
-}
-BENCHMARK(FreezeThresholdEffect)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(5)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
-
+/// Raw index microbenchmark: cost of locating a weight vector in a built
+/// arrangement. No query path exposes this operation, so it constructs the
+/// index directly.
 void PointLocation(benchmark::State& state) {
   const int dim = 3;
   auto hs = RandomHalfspaces(16, dim, 101);
@@ -75,12 +81,10 @@ void PointLocation(benchmark::State& state) {
   CellArrangement arr(base);
   for (int i = 0; i < 16; ++i) arr.Insert(i, hs[i]);
   Rng rng(5);
-  int64_t located = 0;
   for (auto _ : state) {
     Vec w(dim);
     for (int d = 0; d < dim; ++d) w[d] = rng.Uniform(0.05, 0.30);
     benchmark::DoNotOptimize(arr.Locate(w));
-    ++located;
   }
   state.counters["cells"] = static_cast<double>(arr.cells().size());
 }

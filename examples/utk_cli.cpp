@@ -8,21 +8,32 @@
 //   utk2      --data FILE.csv --k K --box ...  [--algo auto|jaa|sk|on]
 //   topk      --data FILE.csv --k K --weights w1,w2,...         (full domain)
 //   immutable --data FILE.csv --k K --weights w1,w2,...
+//   serve     --data FILE.csv [--trace FILE|-] [--gen N --mode utk1|utk2
+//             --k K --sigma S --seed SEED] [--cache-entries N] [--cache-mb M]
+//             [--semantic 0|1] [--threads T]
 //
 // All UTK dispatch goes through utk::Engine: the CLI builds one engine per
 // dataset (R-tree included) and submits a declarative QuerySpec; --algo
 // defaults to auto, letting the engine plan.
+//
+// `serve` answers a stream of queries through the src/serve result cache and
+// reports the hit-rate. The stream comes from --trace (one query per line:
+// `utk1|utk2 K lo1,hi1,lo2,hi2,...`, '#' comments, '-' for stdin) or is a
+// synthetic overlapping workload from data/workload.h (--gen count).
 //
 // Examples:
 //   utk_cli generate --dist ANTI --n 10000 --dim 4 --out anti.csv
 //   utk_cli utk1 --data anti.csv --k 10 --box 0.1,0.2,0.1,0.2,0.1,0.2
 //   utk_cli utk2 --data anti.csv --k 5 --box 0.1,0.2,0.1,0.2,0.1,0.2 --algo jaa
 //   utk_cli topk --data anti.csv --k 5 --weights 0.3,0.3,0.2,0.2
+//   utk_cli serve --data anti.csv --gen 50 --mode utk1 --k 10
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +42,8 @@
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/realistic.h"
+#include "data/workload.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -61,7 +74,8 @@ std::vector<Scalar> ParseList(const std::string& s) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: utk_cli <generate|utk1|utk2|topk|immutable> [--flags]\n"
+               "usage: utk_cli <generate|utk1|utk2|topk|immutable|serve> "
+               "[--flags]\n"
                "see the header of examples/utk_cli.cpp for details\n");
   return 2;
 }
@@ -181,6 +195,137 @@ int CmdUtk(const std::map<std::string, std::string>& flags, bool second) {
   return 0;
 }
 
+/// Parses one trace line `utk1|utk2 K lo1,hi1,...` into a QuerySpec.
+/// Returns false (with a message on stderr) on malformed lines.
+bool ParseTraceLine(const std::string& line, int pref_dim, QuerySpec* spec) {
+  std::istringstream is(line);
+  std::string mode, box;
+  int k = 0;
+  if (!(is >> mode >> k >> box)) {
+    std::fprintf(stderr,
+                 "error: trace line must be 'utk1|utk2 K lo1,hi1,...', got "
+                 "'%s'\n",
+                 line.c_str());
+    return false;
+  }
+  if (mode == "utk1") {
+    spec->mode = QueryMode::kUtk1;
+  } else if (mode == "utk2") {
+    spec->mode = QueryMode::kUtk2;
+  } else {
+    std::fprintf(stderr, "error: trace mode must be utk1|utk2, got %s\n",
+                 mode.c_str());
+    return false;
+  }
+  spec->k = k;
+  std::vector<Scalar> v = ParseList(box);
+  if (static_cast<int>(v.size()) != 2 * pref_dim) {
+    std::fprintf(stderr, "error: trace box needs %d numbers, got %zu\n",
+                 2 * pref_dim, v.size());
+    return false;
+  }
+  Vec lo(pref_dim), hi(pref_dim);
+  for (int i = 0; i < pref_dim; ++i) {
+    lo[i] = v[2 * i];
+    hi[i] = v[2 * i + 1];
+  }
+  spec->region = ConvexRegion::FromBox(lo, hi);
+  return true;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  Engine loaded = EngineOrDie(flags);
+  const int pref_dim = loaded.pref_dim();
+
+  CacheConfig config;
+  if (flags.count("cache-entries"))
+    config.max_entries =
+        static_cast<std::size_t>(std::atoll(flags.at("cache-entries").c_str()));
+  if (flags.count("cache-mb"))
+    config.max_bytes =
+        static_cast<std::size_t>(std::atoll(flags.at("cache-mb").c_str()))
+        << 20;
+  if (flags.count("semantic"))
+    config.semantic_reuse = std::atoi(flags.at("semantic").c_str()) != 0;
+  Server server(std::move(loaded), config);
+
+  std::vector<QuerySpec> specs;
+  if (flags.count("trace")) {
+    const std::string path = flags.at("trace");
+    std::ifstream file;
+    if (path != "-") {
+      file.open(path);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot read trace %s\n", path.c_str());
+        return 1;
+      }
+    }
+    std::istream& in = path == "-" ? std::cin : file;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      QuerySpec spec;
+      if (!ParseTraceLine(line, pref_dim, &spec)) return 2;
+      specs.push_back(std::move(spec));
+    }
+  } else {
+    ServeTraceOptions opt;
+    opt.pref_dim = pref_dim;
+    if (flags.count("sigma")) opt.sigma = std::atof(flags.at("sigma").c_str());
+    if (flags.count("seed"))
+      opt.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
+    const int count =
+        flags.count("gen") ? std::atoi(flags.at("gen").c_str()) : 40;
+    QuerySpec base;
+    base.mode = flags.count("mode") && flags.at("mode") == "utk2"
+                    ? QueryMode::kUtk2
+                    : QueryMode::kUtk1;
+    base.k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+    ServeTrace trace = MakeServeTrace(count, opt);
+    for (ConvexRegion& region : trace.queries) {
+      QuerySpec spec = base;
+      spec.region = std::move(region);
+      specs.push_back(std::move(spec));
+    }
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "error: empty query trace\n");
+    return 2;
+  }
+
+  const int threads =
+      flags.count("threads") ? std::atoi(flags.at("threads").c_str()) : 1;
+  Timer timer;
+  BatchQueryResult batch = server.QueryBatch(specs, threads);
+  const double total_ms = timer.ElapsedMs();
+
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const QueryResult& r = batch.results[i];
+    if (!r.ok) {
+      std::printf("q%zu ERROR %s\n", i, r.error.c_str());
+      continue;
+    }
+    const char* path = r.stats.cache_hits       ? "hit"
+                       : r.stats.cache_semantic_hits ? "semantic"
+                                                     : "miss";
+    std::printf("q%zu %s k=%d via=%s out=%zu cache=%s ms=%.3f\n", i,
+                QueryModeName(r.mode), specs[i].k, AlgorithmName(r.algorithm),
+                r.ids.size(), path, r.stats.elapsed_ms);
+  }
+
+  CacheCounters counters = server.cache_counters();
+  std::printf(
+      "served %zu queries (%d failed) in %.2f ms: %lld exact, %lld semantic, "
+      "%lld miss, %lld evicted, hit-rate %.2f%%\n",
+      specs.size(), batch.failed, total_ms,
+      static_cast<long long>(counters.exact_hits),
+      static_cast<long long>(counters.semantic_hits),
+      static_cast<long long>(counters.misses),
+      static_cast<long long>(counters.evictions), 100.0 * counters.HitRate());
+  std::fprintf(stderr, "[stats] %s\n", batch.total.ToString().c_str());
+  return batch.failed == 0 ? 0 : 1;
+}
+
 Vec WeightsOrDie(const std::map<std::string, std::string>& flags, int dim) {
   if (!flags.count("weights")) {
     std::fprintf(stderr, "error: --weights w1,...,w%d is required\n", dim);
@@ -234,5 +379,6 @@ int main(int argc, char** argv) {
   if (cmd == "utk2") return CmdUtk(flags, true);
   if (cmd == "topk") return CmdTopk(flags);
   if (cmd == "immutable") return CmdImmutable(flags);
+  if (cmd == "serve") return CmdServe(flags);
   return Usage();
 }

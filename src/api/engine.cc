@@ -38,23 +38,27 @@ Algorithm Engine::Plan(const QuerySpec& spec) const {
   return ChooseAlgorithm(spec.mode, size(), pref_dim());
 }
 
-QueryResult Engine::Run(const QuerySpec& spec) const {
-  if (data_.empty()) return Fail(spec, "engine holds an empty dataset");
-  if (spec.k < 1) return Fail(spec, "k must be >= 1");
+std::optional<std::string> Engine::Validate(const QuerySpec& spec) const {
+  if (data_.empty()) return "engine holds an empty dataset";
+  if (spec.k < 1) return "k must be >= 1";
   if (spec.region.dim() != pref_dim())
-    return Fail(spec, "region has " + std::to_string(spec.region.dim()) +
-                          " preference dims, dataset needs " +
-                          std::to_string(pref_dim()));
+    return "region has " + std::to_string(spec.region.dim()) +
+           " preference dims, dataset needs " + std::to_string(pref_dim());
   if (!spec.region.HasInteriorPoint())
-    return Fail(spec, "query region has empty interior");
-
+    return "query region has empty interior";
   const Algorithm algo = Plan(spec);
   if (spec.mode == QueryMode::kUtk2 &&
       (algo == Algorithm::kRsa || algo == Algorithm::kNaive))
-    return Fail(spec, std::string(AlgorithmName(algo)) +
-                          " answers UTK1 only; use JAA or a baseline for "
-                          "UTK2");
+    return std::string(AlgorithmName(algo)) +
+           " answers UTK1 only; use JAA or a baseline for UTK2";
+  return std::nullopt;
+}
 
+QueryResult Engine::Run(const QuerySpec& spec) const {
+  if (std::optional<std::string> error = Validate(spec))
+    return Fail(spec, std::move(*error));
+
+  const Algorithm algo = Plan(spec);
   QueryResult r;
   r.mode = spec.mode;
   r.algorithm = algo;

@@ -28,12 +28,25 @@ struct BatchQueryResult {
   int failed = 0;                    ///< number of results with !ok
 };
 
+// Thread-safety: an Engine is immutable after construction. `Plan`, `Run`,
+// `RunBatch`, and `TopK` are const and touch only the dataset and R-tree
+// read-only, so any number of threads (and serving sessions — see
+// serve/server.h) may call them concurrently on one shared engine without
+// synchronization. The engine is move-only: datasets and their R-trees are
+// heavy, so share a single instance (e.g. via std::shared_ptr<const Engine>)
+// instead of copying. Moving is cheap and safe — the R-tree stores record
+// ids, never pointers into the dataset vector.
 class Engine {
  public:
   /// Takes ownership of `data` and bulk-loads the R-tree once. The dataset
   /// must satisfy the repo invariant data[i].id == i (all generators and
   /// loaders do).
   explicit Engine(Dataset data);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Loads a CSV dataset (see data/io.h) and builds an engine over it.
   /// Returns nullopt when the file is missing, malformed, or empty.
@@ -48,6 +61,12 @@ class Engine {
   /// The algorithm `spec` will execute with: resolves kAuto against this
   /// engine's dataset, leaves explicit choices untouched.
   Algorithm Plan(const QuerySpec& spec) const;
+
+  /// The rejection rules Run applies before executing, without running:
+  /// nullopt when `spec` would execute, otherwise the exact diagnostic Run
+  /// would return. The serving layer uses this to bypass its cache for
+  /// specs the engine will reject.
+  std::optional<std::string> Validate(const QuerySpec& spec) const;
 
   /// Answers one query. Invalid specs (k < 1, region dimensionality
   /// mismatch, algorithm/mode combinations that cannot answer — e.g. RSA

@@ -1,8 +1,38 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 namespace utk {
+namespace {
+
+// Counter fields in declaration (and CSV) order; elapsed_ms rides last.
+constexpr const char* kCsvHeader =
+    "candidates,lp_calls,rdom_tests,cells_created,halfspaces_inserted,"
+    "drills,verify_calls,heap_pops,peak_bytes,cache_hits,cache_semantic_hits,"
+    "cache_misses,cache_evictions,elapsed_ms";
+constexpr int kCsvFields = 14;
+
+std::vector<int64_t QueryStats::*> CounterFields() {
+  return {&QueryStats::candidates,
+          &QueryStats::lp_calls,
+          &QueryStats::rdom_tests,
+          &QueryStats::cells_created,
+          &QueryStats::halfspaces_inserted,
+          &QueryStats::drills,
+          &QueryStats::verify_calls,
+          &QueryStats::heap_pops,
+          &QueryStats::peak_bytes,
+          &QueryStats::cache_hits,
+          &QueryStats::cache_semantic_hits,
+          &QueryStats::cache_misses,
+          &QueryStats::cache_evictions};
+}
+
+}  // namespace
 
 QueryStats& QueryStats::operator+=(const QueryStats& o) {
   candidates += o.candidates;
@@ -14,6 +44,10 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   verify_calls += o.verify_calls;
   heap_pops += o.heap_pops;
   peak_bytes = std::max(peak_bytes, o.peak_bytes);
+  cache_hits += o.cache_hits;
+  cache_semantic_hits += o.cache_semantic_hits;
+  cache_misses += o.cache_misses;
+  cache_evictions += o.cache_evictions;
   elapsed_ms += o.elapsed_ms;
   return *this;
 }
@@ -24,8 +58,47 @@ std::string QueryStats::ToString() const {
      << " rdom_tests=" << rdom_tests << " cells=" << cells_created
      << " halfspaces=" << halfspaces_inserted << " drills=" << drills
      << " verify_calls=" << verify_calls << " heap_pops=" << heap_pops
-     << " peak_bytes=" << peak_bytes << " elapsed_ms=" << elapsed_ms;
+     << " peak_bytes=" << peak_bytes << " cache_hits=" << cache_hits
+     << " cache_semantic_hits=" << cache_semantic_hits
+     << " cache_misses=" << cache_misses
+     << " cache_evictions=" << cache_evictions << " elapsed_ms=" << elapsed_ms;
   return os.str();
+}
+
+std::string QueryStats::CsvHeader() { return kCsvHeader; }
+
+std::string QueryStats::CsvRow() const {
+  std::ostringstream os;
+  for (auto field : CounterFields()) os << this->*field << ',';
+  char ms[64];
+  std::snprintf(ms, sizeof(ms), "%.17g", elapsed_ms);
+  os << ms;
+  return os.str();
+}
+
+std::optional<QueryStats> QueryStats::FromCsvRow(const std::string& row) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : row + ",") {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (static_cast<int>(fields.size()) != kCsvFields) return std::nullopt;
+  QueryStats s;
+  auto counters = CounterFields();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    char* end = nullptr;
+    s.*counters[i] = std::strtoll(fields[i].c_str(), &end, 10);
+    if (end == fields[i].c_str() || *end != '\0') return std::nullopt;
+  }
+  char* end = nullptr;
+  s.elapsed_ms = std::strtod(fields.back().c_str(), &end);
+  if (end == fields.back().c_str() || *end != '\0') return std::nullopt;
+  return s;
 }
 
 }  // namespace utk

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace utk {
@@ -23,10 +24,26 @@ struct QueryStats {
   int64_t verify_calls = 0;      ///< recursive Verify/Partition invocations
   int64_t heap_pops = 0;         ///< BBS heap pops during filtering
   int64_t peak_bytes = 0;        ///< estimated peak arrangement memory
+  // Serving-layer counters (src/serve): how the result was obtained. An
+  // engine-only execution leaves all four at zero; the Server sets exactly
+  // one of hits/semantic_hits/misses to 1 per query and charges evictions
+  // to the query whose admission caused them.
+  int64_t cache_hits = 0;           ///< exact fingerprint cache hits
+  int64_t cache_semantic_hits = 0;  ///< region-containment cache hits
+  int64_t cache_misses = 0;         ///< full engine executions
+  int64_t cache_evictions = 0;      ///< LRU evictions during admission
   double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
 
   QueryStats& operator+=(const QueryStats& o);
   std::string ToString() const;
+
+  /// CSV serialization: a fixed header and one row per QueryStats, every
+  /// counter in declaration order, elapsed_ms last at full precision.
+  /// FromCsvRow parses a row back; it returns nullopt on a malformed row
+  /// (wrong field count or a non-numeric field).
+  static std::string CsvHeader();
+  std::string CsvRow() const;
+  static std::optional<QueryStats> FromCsvRow(const std::string& row);
 };
 
 /// Simple wall-clock stopwatch (milliseconds).

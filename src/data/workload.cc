@@ -39,4 +39,45 @@ std::vector<ConvexRegion> QueryBatch(int pref_dim, Scalar sigma, int count,
   return out;
 }
 
+ConvexRegion RandomSubBox(const ConvexRegion& parent, Scalar shrink,
+                          Rng& rng) {
+  assert(parent.is_box());
+  assert(shrink > 0.0 && shrink <= 1.0);
+  const int dim = parent.dim();
+  Vec lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    const Scalar side = parent.box_hi()[i] - parent.box_lo()[i];
+    lo[i] = parent.box_lo()[i] + rng.Uniform(0.0, 1.0 - shrink) * side;
+    hi[i] = lo[i] + shrink * side;
+  }
+  return ConvexRegion::FromBox(lo, hi);
+}
+
+ServeTrace MakeServeTrace(int count, const ServeTraceOptions& opt) {
+  assert(opt.hot_regions >= 1);
+  ServeTrace trace;
+  Rng rng(opt.seed);
+  trace.hot.reserve(opt.hot_regions);
+  for (int i = 0; i < opt.hot_regions; ++i)
+    trace.hot.push_back(RandomQueryBox(opt.pref_dim, opt.sigma, rng));
+  trace.queries.reserve(count);
+  trace.kinds.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double u = rng.Uniform(0.0, 1.0);
+    const int parent = rng.UniformInt(0, opt.hot_regions - 1);
+    if (u < opt.repeat_fraction) {
+      trace.queries.push_back(trace.hot[parent]);
+      trace.kinds.push_back(TraceKind::kRepeat);
+    } else if (u < opt.repeat_fraction + opt.subregion_fraction) {
+      trace.queries.push_back(
+          RandomSubBox(trace.hot[parent], opt.shrink, rng));
+      trace.kinds.push_back(TraceKind::kSubregion);
+    } else {
+      trace.queries.push_back(RandomQueryBox(opt.pref_dim, opt.sigma, rng));
+      trace.kinds.push_back(TraceKind::kFresh);
+    }
+  }
+  return trace;
+}
+
 }  // namespace utk

@@ -22,6 +22,42 @@ ConvexRegion RandomQueryBox(int pref_dim, Scalar sigma, Rng& rng);
 std::vector<ConvexRegion> QueryBatch(int pref_dim, Scalar sigma, int count,
                                      uint64_t seed);
 
+/// A random axis-parallel sub-box of box region `parent` with side lengths
+/// `shrink` (in (0, 1]) times the parent's, placed uniformly inside it. The
+/// result is always contained in the parent (and so inside the simplex).
+ConvexRegion RandomSubBox(const ConvexRegion& parent, Scalar shrink, Rng& rng);
+
+/// How one request of a serving trace relates to the trace's hot set — the
+/// cache outcome it is designed to exercise once the hot set is warm.
+enum class TraceKind {
+  kRepeat,     ///< an exact repeat of a hot region (exact-hit path)
+  kSubregion,  ///< a random sub-box of a hot region (containment-hit path)
+  kFresh,      ///< an unrelated random region (miss path)
+};
+
+/// Knobs for MakeServeTrace. Fractions that do not sum to 1 leave the
+/// remainder to kFresh queries.
+struct ServeTraceOptions {
+  int pref_dim = 2;
+  Scalar sigma = 0.1;               ///< side length of the hot regions
+  int hot_regions = 4;              ///< size of the hot set
+  double repeat_fraction = 0.4;     ///< share of exact repeats
+  double subregion_fraction = 0.3;  ///< share of contained sub-boxes
+  Scalar shrink = 0.5;              ///< sub-box side relative to its parent
+  uint64_t seed = 1;
+};
+
+/// An overlapping serving workload (the repeated/contained query streams the
+/// serving layer in src/serve is built for): `queries[i]` is classified by
+/// `kinds[i]`, and `hot` lists the distinct hot regions that repeats and
+/// subregions are drawn from. Deterministic in the options' seed.
+struct ServeTrace {
+  std::vector<ConvexRegion> hot;
+  std::vector<ConvexRegion> queries;
+  std::vector<TraceKind> kinds;
+};
+ServeTrace MakeServeTrace(int count, const ServeTraceOptions& opt);
+
 }  // namespace utk
 
 #endif  // UTK_DATA_WORKLOAD_H_

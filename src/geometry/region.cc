@@ -1,7 +1,9 @@
 #include "geometry/region.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace utk {
@@ -81,6 +83,34 @@ bool ConvexRegion::Contains(const Vec& w, Scalar eps) const {
   return true;
 }
 
+bool ConvexRegion::ContainsRegion(const ConvexRegion& inner,
+                                  Scalar eps) const {
+  if (is_box_ && inner.is_box_) {
+    if (inner.dim_ != dim_) return false;
+    for (int i = 0; i < dim_; ++i) {
+      if (inner.box_lo_[i] < box_lo_[i] - eps) return false;
+      if (inner.box_hi_[i] > box_hi_[i] + eps) return false;
+    }
+    return true;
+  }
+  if (inner.dim_ != dim_) return false;
+  for (const Halfspace& h : constraints_) {
+    if (inner.is_box_) {  // closed-form maximum over a box
+      auto range = inner.RangeOf(h.a, 0.0);
+      if (range->second > h.b + eps) return false;
+      continue;
+    }
+    // RangeOf cannot distinguish empty from unbounded, so solve the max LP
+    // directly: infeasible means inner is empty (vacuously contained),
+    // unbounded means inner escapes every bounded outer region.
+    LpResult hi = SolveLp(h.a, inner.constraints_, /*maximize=*/true);
+    if (hi.status == LpStatus::kInfeasible) return true;
+    if (hi.status == LpStatus::kUnbounded) return false;
+    if (hi.objective > h.b + eps) return false;
+  }
+  return true;
+}
+
 std::optional<Vec> ConvexRegion::Pivot() const {
   if (is_box_) {
     Vec c(dim_);
@@ -130,6 +160,15 @@ std::optional<std::pair<Scalar, Scalar>> ConvexRegion::RangeOf(
 }
 
 bool ConvexRegion::HasInteriorPoint(Scalar min_radius) const {
+  if (is_box_) {
+    // Chebyshev radius of a box (unit facet normals): half the shortest
+    // side. Matches the LP answer without solving it — this predicate sits
+    // on the serving layer's per-query path.
+    Scalar radius = std::numeric_limits<Scalar>::max();
+    for (int i = 0; i < dim_; ++i)
+      radius = std::min(radius, 0.5 * (box_hi_[i] - box_lo_[i]));
+    return radius > min_radius;
+  }
   return HasInterior(constraints_, min_radius);
 }
 

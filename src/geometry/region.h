@@ -48,6 +48,15 @@ class ConvexRegion {
   /// Membership test.
   bool Contains(const Vec& w, Scalar eps = kEps) const;
 
+  /// True iff `inner` is contained in this region (up to eps slack per
+  /// constraint): every constraint a.w <= b of *this* satisfies
+  /// max_{w in inner} a.w <= b + eps. Closed form when both are boxes, one
+  /// LP per constraint otherwise. An empty `inner` is contained vacuously.
+  /// This is the semantic-reuse predicate of the serving layer
+  /// (serve/result_cache.h): UTK answers for a region restrict to any
+  /// contained region.
+  bool ContainsRegion(const ConvexRegion& inner, Scalar eps = kEps) const;
+
   /// The pivot vector of the region (Section 4.1): for boxes, the average of
   /// the vertices (== box center); for general regions, the Chebyshev
   /// center. Returns nullopt when the region has empty interior.

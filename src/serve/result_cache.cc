@@ -1,0 +1,280 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "geometry/linear.h"
+
+namespace utk {
+namespace {
+
+/// Slack allowed when testing donor-region containment. Looser than kEps so
+/// a sub-box sharing a face with its parent (a common workload shape) still
+/// reuses the parent's answer; tight enough that the donor's validity
+/// argument holds to numerical noise.
+constexpr Scalar kContainEps = 1e-9;
+
+void AppendScalar(std::string* out, Scalar v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 so equal regions fingerprint equal
+  char buf[sizeof(Scalar)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendInt32(std::string* out, int32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+int64_t BytesOfVec(const Vec& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(Scalar) + sizeof(Vec));
+}
+
+int64_t BytesOfHalfspaces(const std::vector<Halfspace>& hs) {
+  int64_t total = static_cast<int64_t>(sizeof(hs));
+  for (const Halfspace& h : hs) total += BytesOfVec(h.a) + sizeof(Scalar);
+  return total;
+}
+
+int64_t BytesOfCell(const Cell& c) {
+  return BytesOfHalfspaces(c.bounds) + BytesOfVec(c.interior) +
+         static_cast<int64_t>(c.covering.capacity() * sizeof(int) +
+                              sizeof(Cell));
+}
+
+}  // namespace
+
+double CacheCounters::HitRate() const {
+  const int64_t total = Requests();
+  if (total == 0) return 0.0;
+  return static_cast<double>(exact_hits + semantic_hits) /
+         static_cast<double>(total);
+}
+
+std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned) {
+  std::string key;
+  key.reserve(64);
+  key.push_back(spec.mode == QueryMode::kUtk1 ? '1' : '2');
+  key.push_back(static_cast<char>('a' + static_cast<int>(planned)));
+  AppendInt32(&key, spec.k);
+  AppendInt32(&key, spec.region.dim());
+  if (spec.region.is_box()) {
+    key.push_back('B');
+    for (Scalar v : spec.region.box_lo()) AppendScalar(&key, v);
+    for (Scalar v : spec.region.box_hi()) AppendScalar(&key, v);
+    return key;
+  }
+  key.push_back('H');
+  // Normalize each constraint to a unit normal, serialize, and byte-sort so
+  // the fingerprint is invariant to constraint order.
+  std::vector<std::string> parts;
+  parts.reserve(spec.region.constraints().size());
+  for (const Halfspace& h : spec.region.constraints()) {
+    const Scalar norm = Norm(h.a);
+    std::string part;
+    if (norm > 0.0) {
+      for (Scalar v : h.a) AppendScalar(&part, v / norm);
+      AppendScalar(&part, h.b / norm);
+    } else {
+      for (Scalar v : h.a) AppendScalar(&part, v);
+      AppendScalar(&part, h.b);
+    }
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  for (const std::string& part : parts) key += part;
+  return key;
+}
+
+int64_t EstimateResultBytes(const QueryResult& r) {
+  int64_t total = static_cast<int64_t>(sizeof(QueryResult));
+  total += static_cast<int64_t>(r.error.capacity());
+  total += static_cast<int64_t>(r.ids.capacity() * sizeof(int32_t));
+  for (const Utk2Cell& c : r.utk2.cells) {
+    total += BytesOfHalfspaces(c.bounds) + BytesOfVec(c.witness) +
+             static_cast<int64_t>(c.topk.capacity() * sizeof(int32_t) +
+                                  sizeof(Utk2Cell));
+  }
+  for (const auto& rec : r.per_record.records) {
+    total += static_cast<int64_t>(sizeof(rec));
+    for (const Cell& c : rec.cells) total += BytesOfCell(c);
+  }
+  return total;
+}
+
+ResultCache::ResultCache(CacheConfig config) : config_(config) {
+  if (config_.shards < 1) config_.shards = 1;
+  if (config_.max_entries < 1) config_.max_entries = 1;
+  const auto shard_count = static_cast<std::size_t>(config_.shards);
+  // Ceil-divided slices so the shard budgets cover the global ones.
+  entries_per_shard_ = (config_.max_entries + shard_count - 1) / shard_count;
+  bytes_per_shard_ =
+      static_cast<int64_t>((config_.max_bytes + shard_count - 1) / shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ResultCache::CanServe(const Entry& entry, const QuerySpec& spec,
+                           Algorithm planned) {
+  if (entry.k != spec.k) return false;
+  if (spec.mode == QueryMode::kUtk2) {
+    // A UTK2 answer's shape (common arrangement vs per-record cells) must
+    // match what the planned algorithm would produce, so the result a
+    // caller sees never depends on what happens to be cached. This also
+    // rejects UTK1 donors, which carry no cell geometry at all.
+    const bool want_per_record = planned == Algorithm::kBaselineSk ||
+                                 planned == Algorithm::kBaselineOn;
+    const bool has_shape = want_per_record
+                               ? !entry.result.per_record.records.empty()
+                               : !entry.result.utk2.cells.empty();
+    if (!has_shape) return false;
+  }
+  return entry.region.ContainsRegion(spec.region, kContainEps);
+}
+
+bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
+                            CacheLookup* out) {
+  // One sweep, testing containment on each entry at most once. A donor with
+  // cell geometry wins immediately (cells restrict cheaply — a feasibility
+  // test per cell); the first admissible id-only donor is only *remembered*
+  // as a fallback — copied and MRU-touched after the sweep, so a superseded
+  // fallback costs no copy and no recency distortion.
+  Shard* fallback_shard = nullptr;
+  std::string fallback_key;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
+      if (fallback_shard != nullptr && !it->HasCells()) continue;
+      if (!CanServe(*it, spec, planned)) continue;
+      if (it->HasCells()) {
+        out->outcome = CacheOutcome::kSemanticHit;
+        out->result = it->result;
+        out->region = it->region;
+        out->mode = it->mode;
+        shard->lru.splice(shard->lru.begin(), shard->lru, it);  // touch
+        return true;
+      }
+      fallback_shard = shard.get();
+      fallback_key = it->key;
+      break;  // keep scanning other shards for a cell-carrying donor
+    }
+  }
+  if (fallback_shard == nullptr) return false;
+  // The fallback may have been evicted while other shards were scanned; a
+  // vanished fallback is simply a miss.
+  std::lock_guard<std::mutex> lock(fallback_shard->mu);
+  auto it = fallback_shard->index.find(fallback_key);
+  if (it == fallback_shard->index.end()) return false;
+  out->outcome = CacheOutcome::kSemanticHit;
+  out->result = it->second->result;
+  out->region = it->second->region;
+  out->mode = it->second->mode;
+  fallback_shard->lru.splice(fallback_shard->lru.begin(), fallback_shard->lru,
+                             it->second);
+  return true;
+}
+
+CacheLookup ResultCache::Lookup(const QuerySpec& spec, Algorithm planned) {
+  CacheLookup out;
+  const std::string key = CanonicalFingerprint(spec, planned);
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      out.outcome = CacheOutcome::kExactHit;
+      out.result = it->second->result;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      exact_hits_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+  if (config_.semantic_reuse && FindDonor(spec, planned, &out)) {
+    // Counted by ResolveSemantic once the caller's restriction succeeds.
+    return out;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void ResultCache::ResolveSemantic(bool served) {
+  if (served) {
+    semantic_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int64_t ResultCache::Admit(const QuerySpec& spec, Algorithm planned,
+                           const QueryResult& result) {
+  if (!result.ok) return 0;
+  Entry entry;
+  entry.key = CanonicalFingerprint(spec, planned);
+  entry.mode = spec.mode;
+  entry.k = spec.k;
+  entry.region = spec.region;
+  entry.result = result;
+  entry.bytes = EstimateResultBytes(result);
+
+  Shard& shard = ShardFor(entry.key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(entry.key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.bytes += entry.bytes;
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+    // Enforce the budgets, but never evict the entry just admitted: an
+    // oversized result simply passes through the cache.
+    while (shard.lru.size() > 1 &&
+           (shard.lru.size() > entries_per_shard_ ||
+            shard.bytes > bytes_per_shard_)) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+CacheCounters ResultCache::Counters() const {
+  CacheCounters c;
+  c.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+  c.semantic_hits = semantic_hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.inserts = inserts_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    c.entries += static_cast<int64_t>(shard->lru.size());
+    c.bytes += shard->bytes;
+  }
+  return c;
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace utk

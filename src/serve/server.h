@@ -1,0 +1,80 @@
+// Server — a serving session that answers UTK queries cache-first.
+//
+// A Server wraps a shared, immutable Engine (see engine.h: Run/TopK are
+// const-thread-safe, so one engine can back many concurrent sessions) and a
+// ResultCache. Query resolution order:
+//   1. exact fingerprint hit  -> return the cached result verbatim;
+//   2. semantic hit           -> restrict a containing donor's answer to the
+//                                requested region (see below);
+//   3. miss                   -> Engine::Run, then Admit the fresh result.
+//
+// Restriction of a donor answered over R to a requested region R' ⊆ R:
+//   * UTK2 from a JAA donor: clip every cell (cell bounds + R' constraints),
+//     keep cells that retain interior, recompute each witness as the clipped
+//     cell's Chebyshev center; top-k sets are unchanged by clipping.
+//   * UTK2 from a baseline (per-record) donor: clip each record's validity
+//     cells the same way; records left without cells drop out.
+//   * UTK1 from any UTK2-shaped donor: the union of top-k sets over cells
+//     that still intersect R' (one feasibility test per cell).
+//   * UTK1 from a UTK1-only donor: re-decide each cached id over R' with the
+//     cached ids as the only competitors (early-exit kSPR). Exact because
+//     for every w in R' the true top-k is a subset of the donor's id set —
+//     the same competitor-restriction argument the SK/ON baselines use.
+//
+// Served results mirror Engine::Run answers (UTK1 ids byte-identical; UTK2
+// semantically the same partition, possibly with different cell geometry).
+// `stats` describes the *serving*: exactly one of cache_hits /
+// cache_semantic_hits / cache_misses is 1, evictions are charged to the
+// admitting query, and `algorithm` names whatever produced the donor.
+//
+// Thread-safety: Query/QueryBatch may be called concurrently from any number
+// of threads; the cache is internally synchronized and the engine is
+// read-only. Answers are deterministic — cache state changes which *path*
+// serves a query, never the answer.
+#ifndef UTK_SERVE_SERVER_H_
+#define UTK_SERVE_SERVER_H_
+
+#include <memory>
+#include <span>
+
+#include "api/engine.h"
+#include "serve/result_cache.h"
+
+namespace utk {
+
+class Server {
+ public:
+  /// Shares `engine` (it must outlive the server if the caller keeps using
+  /// it; the shared_ptr keeps it alive otherwise).
+  explicit Server(std::shared_ptr<const Engine> engine,
+                  CacheConfig config = {});
+
+  /// Convenience: takes ownership of an engine.
+  explicit Server(Engine engine, CacheConfig config = {});
+
+  /// Answers one query cache-first. Invalid specs bypass the cache and come
+  /// back with Engine::Run's diagnostic; failures are never cached.
+  QueryResult Query(const QuerySpec& spec);
+
+  /// Answers independent queries concurrently through the cache (threads
+  /// <= 0 means DefaultThreads()). results[i] always answers specs[i]; the
+  /// merged stats include the cache counters of every query.
+  BatchQueryResult QueryBatch(std::span<const QuerySpec> specs,
+                              int threads = 0);
+
+  const Engine& engine() const { return *engine_; }
+  std::shared_ptr<const Engine> shared_engine() const { return engine_; }
+  ResultCache& cache() { return cache_; }
+  CacheCounters cache_counters() const { return cache_.Counters(); }
+
+ private:
+  QueryResult ServeFromDonor(const QuerySpec& spec,
+                             CacheLookup donor) const;
+
+  std::shared_ptr<const Engine> engine_;
+  ResultCache cache_;
+};
+
+}  // namespace utk
+
+#endif  // UTK_SERVE_SERVER_H_

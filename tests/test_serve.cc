@@ -1,0 +1,480 @@
+// The serving layer (src/serve): canonical fingerprints, exact-hit identity,
+// semantic region-containment reuse (UTK1 and UTK2, from every donor shape),
+// LRU eviction under tight budgets, concurrency, and the warm/cold speedup
+// the ResultCache exists to deliver.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/workload.h"
+
+namespace utk {
+namespace {
+
+QuerySpec MakeSpec(QueryMode mode, int k, ConvexRegion region,
+                   Algorithm algo = Algorithm::kAuto) {
+  QuerySpec spec;
+  spec.mode = mode;
+  spec.algorithm = algo;
+  spec.k = k;
+  spec.region = std::move(region);
+  return spec;
+}
+
+std::vector<int32_t> Sorted(std::vector<int32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// The distinct top-k sets of a UTK2 decomposition, each sorted.
+std::set<std::vector<int32_t>> TopkSets(const Utk2Result& r) {
+  std::set<std::vector<int32_t>> sets;
+  for (const Utk2Cell& cell : r.cells) sets.insert(Sorted(cell.topk));
+  return sets;
+}
+
+bool CellContains(const std::vector<Halfspace>& bounds, const Vec& w) {
+  for (const Halfspace& h : bounds)
+    if (!h.Contains(w)) return false;
+  return true;
+}
+
+class ServeTestBase : public ::testing::Test {
+ protected:
+  ServeTestBase()
+      : engine_(std::make_shared<const Engine>(
+            Generate(Distribution::kAnticorrelated, 150, 3, 20260728))) {}
+
+  std::shared_ptr<const Engine> engine_;
+};
+
+TEST(ServeFingerprint, CanonicalizesSpecs) {
+  ConvexRegion box = ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35});
+  QuerySpec a = MakeSpec(QueryMode::kUtk1, 5, box);
+  QuerySpec b = MakeSpec(QueryMode::kUtk1, 5, box);
+  EXPECT_EQ(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(b, Algorithm::kRsa));
+
+  // kAuto fingerprints as its resolution, so auto and explicit specs share
+  // entries.
+  QuerySpec exp = MakeSpec(QueryMode::kUtk1, 5, box, Algorithm::kRsa);
+  EXPECT_EQ(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(exp, Algorithm::kRsa));
+
+  // Mode, k, region, and planned algorithm all separate fingerprints.
+  EXPECT_NE(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(a, Algorithm::kJaa));
+  QuerySpec k6 = MakeSpec(QueryMode::kUtk1, 6, box);
+  EXPECT_NE(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(k6, Algorithm::kRsa));
+  QuerySpec utk2 = MakeSpec(QueryMode::kUtk2, 5, box);
+  EXPECT_NE(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(utk2, Algorithm::kRsa));
+  QuerySpec other = MakeSpec(
+      QueryMode::kUtk1, 5, ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.36}));
+  EXPECT_NE(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(other, Algorithm::kRsa));
+
+  // Execution knobs are non-semantic: they never change the answer, so they
+  // must not split cache entries.
+  QuerySpec knobs = a;
+  knobs.use_drill = false;
+  knobs.wave_cap = 3;
+  EXPECT_EQ(CanonicalFingerprint(a, Algorithm::kRsa),
+            CanonicalFingerprint(knobs, Algorithm::kRsa));
+
+  // General (non-box) regions: constraint order must not matter.
+  ConvexRegion g1 = ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35});
+  g1.AddConstraint({{1.0, 1.0}, 0.6});
+  std::vector<Halfspace> shuffled(g1.constraints().rbegin(),
+                                  g1.constraints().rend());
+  ConvexRegion g2(std::move(shuffled));
+  QuerySpec s1 = MakeSpec(QueryMode::kUtk1, 5, g1);
+  QuerySpec s2 = MakeSpec(QueryMode::kUtk1, 5, g2);
+  EXPECT_EQ(CanonicalFingerprint(s1, Algorithm::kRsa),
+            CanonicalFingerprint(s2, Algorithm::kRsa));
+}
+
+TEST(ServeRegion, ContainsRegion) {
+  ConvexRegion outer = ConvexRegion::FromBox({0.1, 0.1}, {0.4, 0.4});
+  EXPECT_TRUE(outer.ContainsRegion(
+      ConvexRegion::FromBox({0.2, 0.15}, {0.3, 0.4})));
+  EXPECT_TRUE(outer.ContainsRegion(outer));
+  EXPECT_FALSE(outer.ContainsRegion(
+      ConvexRegion::FromBox({0.2, 0.15}, {0.45, 0.4})));
+
+  // Mixed box / general-region pairs go through the LP path.
+  ConvexRegion inner = ConvexRegion::FromBox({0.2, 0.2}, {0.3, 0.3});
+  inner.AddConstraint({{1.0, 1.0}, 0.55});
+  EXPECT_TRUE(outer.ContainsRegion(inner));
+  ConvexRegion poked = ConvexRegion::FromBox({0.2, 0.2}, {0.5, 0.3});
+  poked.AddConstraint({{1.0, 1.0}, 0.9});
+  EXPECT_FALSE(outer.ContainsRegion(poked));
+
+  // An unbounded inner region is never contained in a bounded outer one;
+  // an empty inner region is contained vacuously.
+  ConvexRegion unbounded(std::vector<Halfspace>{{{1.0, 0.0}, 0.5}});
+  EXPECT_FALSE(outer.ContainsRegion(unbounded));
+  ConvexRegion empty(
+      std::vector<Halfspace>{{{1.0, 0.0}, -1.0}, {{-1.0, 0.0}, -1.0}});
+  EXPECT_TRUE(outer.ContainsRegion(empty));
+
+  // Random sub-boxes are contained in their parents by construction.
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    ConvexRegion parent = RandomQueryBox(3, 0.12, rng);
+    ConvexRegion sub = RandomSubBox(parent, rng.Uniform(0.3, 1.0), rng);
+    EXPECT_TRUE(parent.ContainsRegion(sub));
+  }
+}
+
+TEST_F(ServeTestBase, ExactHitReturnsIdenticalResult) {
+  Server server(engine_);
+  for (QueryMode mode : {QueryMode::kUtk1, QueryMode::kUtk2}) {
+    QuerySpec spec =
+        MakeSpec(mode, 4, ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35}));
+    QueryResult fresh = engine_->Run(spec);
+    ASSERT_TRUE(fresh.ok) << fresh.error;
+
+    QueryResult miss = server.Query(spec);
+    ASSERT_TRUE(miss.ok) << miss.error;
+    EXPECT_EQ(miss.stats.cache_misses, 1);
+    EXPECT_EQ(miss.ids, fresh.ids);
+
+    QueryResult hit = server.Query(spec);
+    ASSERT_TRUE(hit.ok) << hit.error;
+    EXPECT_EQ(hit.stats.cache_hits, 1);
+    EXPECT_EQ(hit.stats.cache_misses, 0);
+    EXPECT_EQ(hit.algorithm, fresh.algorithm);
+    EXPECT_EQ(hit.ids, fresh.ids);
+    ASSERT_EQ(hit.utk2.cells.size(), fresh.utk2.cells.size());
+    for (size_t i = 0; i < hit.utk2.cells.size(); ++i) {
+      EXPECT_EQ(hit.utk2.cells[i].topk, fresh.utk2.cells[i].topk);
+      EXPECT_EQ(hit.utk2.cells[i].witness, fresh.utk2.cells[i].witness);
+    }
+  }
+  CacheCounters c = server.cache_counters();
+  EXPECT_EQ(c.exact_hits, 2);
+  EXPECT_EQ(c.misses, 2);
+  EXPECT_DOUBLE_EQ(c.HitRate(), 0.5);
+}
+
+// The acceptance property: for random nested regions R' inside R, the
+// cache-served answer for R' equals a fresh Engine::Run answer, for every
+// donor shape the cache can hold.
+TEST_F(ServeTestBase, ContainmentUtk1FromUtk1Donor) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    Server server(engine_);
+    ConvexRegion outer = RandomQueryBox(2, 0.12, rng);
+    ConvexRegion inner = RandomSubBox(outer, rng.Uniform(0.3, 0.9), rng);
+
+    QueryResult warm = server.Query(MakeSpec(QueryMode::kUtk1, 4, outer));
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.stats.cache_misses, 1);
+
+    QueryResult served = server.Query(MakeSpec(QueryMode::kUtk1, 4, inner));
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_EQ(served.stats.cache_semantic_hits, 1) << "trial " << trial;
+
+    QueryResult fresh = engine_->Run(MakeSpec(QueryMode::kUtk1, 4, inner));
+    ASSERT_TRUE(fresh.ok) << fresh.error;
+    EXPECT_EQ(served.ids, fresh.ids) << "trial " << trial;
+
+    // The served restriction is admitted under its own fingerprint, so an
+    // exact repeat of the sub-region is an O(1) exact hit.
+    QueryResult repeat = server.Query(MakeSpec(QueryMode::kUtk1, 4, inner));
+    ASSERT_TRUE(repeat.ok) << repeat.error;
+    EXPECT_EQ(repeat.stats.cache_hits, 1) << "trial " << trial;
+    EXPECT_EQ(repeat.ids, fresh.ids);
+  }
+}
+
+// A UTK2 answer's shape must match the planned algorithm: a JAA-shaped
+// donor never serves an explicit baseline request and vice versa, so what a
+// caller reads out of utk2/per_record never depends on cache state.
+TEST_F(ServeTestBase, Utk2DonorShapeMustMatchPlannedAlgorithm) {
+  Rng rng(37);
+  ConvexRegion outer = RandomQueryBox(2, 0.1, rng);
+  ConvexRegion inner = RandomSubBox(outer, 0.6, rng);
+
+  Server server(engine_);
+  ASSERT_TRUE(server.Query(MakeSpec(QueryMode::kUtk2, 3, outer)).ok);  // JAA
+  QueryResult r = server.Query(
+      MakeSpec(QueryMode::kUtk2, 3, inner, Algorithm::kBaselineSk));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stats.cache_misses, 1);  // JAA donor must not serve it
+  EXPECT_EQ(r.algorithm, Algorithm::kBaselineSk);
+  EXPECT_FALSE(r.per_record.records.empty());
+
+  Server server2(engine_);
+  ASSERT_TRUE(
+      server2.Query(MakeSpec(QueryMode::kUtk2, 3, outer, Algorithm::kBaselineSk))
+          .ok);
+  QueryResult jaa = server2.Query(MakeSpec(QueryMode::kUtk2, 3, inner));
+  ASSERT_TRUE(jaa.ok) << jaa.error;
+  EXPECT_EQ(jaa.stats.cache_misses, 1);  // baseline donor must not serve kAuto
+  EXPECT_FALSE(jaa.utk2.cells.empty());
+}
+
+TEST_F(ServeTestBase, ContainmentUtk1FromUtk2Donor) {
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    Server server(engine_);
+    ConvexRegion outer = RandomQueryBox(2, 0.1, rng);
+    ConvexRegion inner = RandomSubBox(outer, rng.Uniform(0.3, 0.9), rng);
+
+    ASSERT_TRUE(server.Query(MakeSpec(QueryMode::kUtk2, 3, outer)).ok);
+    QueryResult served = server.Query(MakeSpec(QueryMode::kUtk1, 3, inner));
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_EQ(served.stats.cache_semantic_hits, 1) << "trial " << trial;
+
+    QueryResult fresh = engine_->Run(MakeSpec(QueryMode::kUtk1, 3, inner));
+    EXPECT_EQ(served.ids, fresh.ids) << "trial " << trial;
+  }
+}
+
+TEST_F(ServeTestBase, ContainmentUtk2FromJaaDonor) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    Server server(engine_);
+    ConvexRegion outer = RandomQueryBox(2, 0.1, rng);
+    ConvexRegion inner = RandomSubBox(outer, rng.Uniform(0.4, 0.9), rng);
+    const int k = 3;
+
+    ASSERT_TRUE(server.Query(MakeSpec(QueryMode::kUtk2, k, outer)).ok);
+    QueryResult served = server.Query(MakeSpec(QueryMode::kUtk2, k, inner));
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_EQ(served.stats.cache_semantic_hits, 1) << "trial " << trial;
+
+    QueryResult fresh = engine_->Run(MakeSpec(QueryMode::kUtk2, k, inner));
+    ASSERT_TRUE(fresh.ok) << fresh.error;
+
+    // Same record union and the same collection of distinct top-k sets.
+    EXPECT_EQ(served.ids, fresh.ids) << "trial " << trial;
+    EXPECT_EQ(TopkSets(served.utk2), TopkSets(fresh.utk2));
+
+    // Ground truth: every served cell's witness must rank exactly its cell's
+    // top-k set, and the witness must lie in the queried region.
+    for (const Utk2Cell& cell : served.utk2.cells) {
+      EXPECT_TRUE(inner.Contains(cell.witness));
+      EXPECT_EQ(Sorted(cell.topk),
+                Sorted(engine_->TopK(cell.witness, k)));
+    }
+    // Cross-coverage: each fresh cell's witness falls in a served cell with
+    // the identical top-k set.
+    for (const Utk2Cell& cell : fresh.utk2.cells) {
+      bool found = false;
+      for (const Utk2Cell& sc : served.utk2.cells) {
+        if (!CellContains(sc.bounds, cell.witness)) continue;
+        EXPECT_EQ(Sorted(sc.topk), Sorted(cell.topk));
+        found = true;
+        break;
+      }
+      EXPECT_TRUE(found) << "fresh witness not covered, trial " << trial;
+    }
+  }
+}
+
+TEST_F(ServeTestBase, ContainmentUtk2FromBaselineDonor) {
+  Rng rng(19);
+  Server server(engine_);
+  ConvexRegion outer = RandomQueryBox(2, 0.1, rng);
+  ConvexRegion inner = RandomSubBox(outer, 0.6, rng);
+  const int k = 3;
+
+  QuerySpec warm = MakeSpec(QueryMode::kUtk2, k, outer, Algorithm::kBaselineSk);
+  ASSERT_TRUE(server.Query(warm).ok);
+
+  QueryResult served =
+      server.Query(MakeSpec(QueryMode::kUtk2, k, inner, Algorithm::kBaselineSk));
+  ASSERT_TRUE(served.ok) << served.error;
+  EXPECT_EQ(served.stats.cache_semantic_hits, 1);
+  EXPECT_FALSE(served.per_record.records.empty());
+
+  QueryResult fresh =
+      engine_->Run(MakeSpec(QueryMode::kUtk2, k, inner, Algorithm::kBaselineSk));
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_EQ(served.ids, fresh.ids);
+
+  // Every surviving validity cell's interior point must actually rank its
+  // record in the top-k.
+  for (const auto& rec : served.per_record.records) {
+    for (const Cell& cell : rec.cells) {
+      std::vector<int32_t> topk = engine_->TopK(cell.interior, k);
+      EXPECT_NE(std::find(topk.begin(), topk.end(), rec.id), topk.end());
+    }
+  }
+}
+
+TEST_F(ServeTestBase, SemanticReuseCanBeDisabled) {
+  CacheConfig config;
+  config.semantic_reuse = false;
+  Server server(engine_, config);
+  ConvexRegion outer = ConvexRegion::FromBox({0.15, 0.15}, {0.35, 0.35});
+  ConvexRegion inner = ConvexRegion::FromBox({0.2, 0.2}, {0.3, 0.3});
+  ASSERT_TRUE(server.Query(MakeSpec(QueryMode::kUtk1, 3, outer)).ok);
+  QueryResult r = server.Query(MakeSpec(QueryMode::kUtk1, 3, inner));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.stats.cache_misses, 1);
+  EXPECT_EQ(server.cache_counters().semantic_hits, 0);
+}
+
+TEST_F(ServeTestBase, LruEvictionUnderTightCapacity) {
+  CacheConfig config;
+  config.max_entries = 2;
+  config.shards = 1;
+  config.semantic_reuse = false;  // isolate the exact-match LRU behavior
+  Server server(engine_, config);
+
+  auto spec_at = [](Scalar lo) {
+    return MakeSpec(QueryMode::kUtk1, 3,
+                    ConvexRegion::FromBox({lo, lo}, {lo + 0.05, lo + 0.05}));
+  };
+  ASSERT_TRUE(server.Query(spec_at(0.10)).ok);  // A
+  ASSERT_TRUE(server.Query(spec_at(0.20)).ok);  // B
+  ASSERT_TRUE(server.Query(spec_at(0.10)).ok);  // touch A -> LRU order B, A
+  QueryResult c = server.Query(spec_at(0.30));  // evicts B
+  ASSERT_TRUE(c.ok);
+  EXPECT_EQ(c.stats.cache_evictions, 1);
+
+  CacheCounters counters = server.cache_counters();
+  EXPECT_EQ(counters.entries, 2);
+  EXPECT_EQ(counters.evictions, 1);
+
+  EXPECT_EQ(server.Query(spec_at(0.10)).stats.cache_hits, 1);   // A survived
+  EXPECT_EQ(server.Query(spec_at(0.20)).stats.cache_misses, 1);  // B evicted
+}
+
+TEST_F(ServeTestBase, ByteBudgetEvicts) {
+  CacheConfig config;
+  config.max_bytes = 1;  // smaller than any result: every admission evicts
+  config.shards = 1;
+  config.semantic_reuse = false;
+  Server server(engine_, config);
+  ASSERT_TRUE(
+      server
+          .Query(MakeSpec(QueryMode::kUtk1, 3,
+                          ConvexRegion::FromBox({0.1, 0.1}, {0.15, 0.15})))
+          .ok);
+  ASSERT_TRUE(
+      server
+          .Query(MakeSpec(QueryMode::kUtk1, 3,
+                          ConvexRegion::FromBox({0.2, 0.2}, {0.25, 0.25})))
+          .ok);
+  // The second admission pushes the first entry out; the just-admitted entry
+  // itself is never evicted.
+  CacheCounters counters = server.cache_counters();
+  EXPECT_EQ(counters.entries, 1);
+  EXPECT_GE(counters.evictions, 1);
+}
+
+TEST_F(ServeTestBase, InvalidSpecsBypassCache) {
+  Server server(engine_);
+  ConvexRegion good = ConvexRegion::FromBox({0.2, 0.2}, {0.3, 0.3});
+
+  QueryResult r = server.Query(MakeSpec(QueryMode::kUtk1, 0, good));
+  EXPECT_FALSE(r.ok);
+  r = server.Query(
+      MakeSpec(QueryMode::kUtk2, 3, good, Algorithm::kRsa));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("UTK1"), std::string::npos);
+  r = server.Query(
+      MakeSpec(QueryMode::kUtk1, 3, ConvexRegion::FromBox({0.2}, {0.3})));
+  EXPECT_FALSE(r.ok);
+
+  CacheCounters counters = server.cache_counters();
+  EXPECT_EQ(counters.Requests(), 0);
+  EXPECT_EQ(counters.entries, 0);
+}
+
+TEST_F(ServeTestBase, ConcurrentMixedLoadIsDeterministic) {
+  ServeTraceOptions opt;
+  opt.pref_dim = 2;
+  opt.sigma = 0.1;
+  opt.hot_regions = 3;
+  opt.seed = 23;
+  ServeTrace trace = MakeServeTrace(24, opt);
+
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < trace.queries.size(); ++i) {
+    specs.push_back(MakeSpec(i % 3 == 0 ? QueryMode::kUtk2 : QueryMode::kUtk1,
+                             3, trace.queries[i]));
+  }
+  std::vector<QueryResult> fresh;
+  for (const QuerySpec& spec : specs) fresh.push_back(engine_->Run(spec));
+
+  for (int threads : {1, 8}) {
+    Server server(engine_);
+    BatchQueryResult batch = server.QueryBatch(specs, threads);
+    ASSERT_EQ(batch.results.size(), specs.size());
+    EXPECT_EQ(batch.failed, 0);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(batch.results[i].ok) << batch.results[i].error;
+      EXPECT_EQ(batch.results[i].ids, fresh[i].ids)
+          << "threads " << threads << " query " << i;
+    }
+    // Conservation: every query was served exactly one way, and the merged
+    // batch stats agree with the cache's own counters.
+    CacheCounters counters = server.cache_counters();
+    EXPECT_EQ(counters.Requests(), static_cast<int64_t>(specs.size()));
+    EXPECT_EQ(batch.total.cache_hits + batch.total.cache_semantic_hits +
+                  batch.total.cache_misses,
+              static_cast<int64_t>(specs.size()));
+    EXPECT_EQ(batch.total.cache_hits, counters.exact_hits);
+    EXPECT_EQ(batch.total.cache_semantic_hits, counters.semantic_hits);
+    EXPECT_EQ(batch.total.cache_misses, counters.misses);
+    if (threads == 1) {
+      // Sequential execution makes the exact split deterministic: repeats of
+      // an already-served hot region must be exact hits.
+      EXPECT_GT(counters.exact_hits + counters.semantic_hits, 0);
+    }
+  }
+}
+
+// The speedup the cache exists for: serving a warm exact-hit query must be
+// at least 10x faster than the cold execution on the default synthetic
+// workload (the bench_serve acceptance bar, asserted here conservatively).
+TEST(ServeSpeedup, WarmExactHitsBeatColdByTenX) {
+  auto engine = std::make_shared<const Engine>(
+      Generate(Distribution::kAnticorrelated, 1200, 3, 31));
+  Server server(engine);
+
+  ServeTraceOptions opt;
+  opt.pref_dim = 2;
+  opt.sigma = 0.1;
+  opt.hot_regions = 5;
+  opt.repeat_fraction = 0.0;
+  opt.subregion_fraction = 0.0;
+  opt.seed = 29;
+  ServeTrace trace = MakeServeTrace(5, opt);  // 5 distinct fresh regions
+
+  std::vector<QuerySpec> specs;
+  for (const ConvexRegion& region : trace.queries)
+    specs.push_back(MakeSpec(QueryMode::kUtk1, 10, region));
+
+  Timer cold_timer;
+  for (const QuerySpec& spec : specs) ASSERT_TRUE(server.Query(spec).ok);
+  const double cold_ms = cold_timer.ElapsedMs();
+
+  const int kWarmRounds = 10;
+  Timer warm_timer;
+  for (int round = 0; round < kWarmRounds; ++round)
+    for (const QuerySpec& spec : specs) {
+      QueryResult r = server.Query(spec);
+      ASSERT_TRUE(r.ok);
+      ASSERT_EQ(r.stats.cache_hits, 1);
+    }
+  const double warm_ms = warm_timer.ElapsedMs() / kWarmRounds;
+
+  EXPECT_GE(cold_ms, 10.0 * warm_ms)
+      << "cold " << cold_ms << "ms vs warm " << warm_ms << "ms";
+}
+
+}  // namespace
+}  // namespace utk

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 namespace utk {
@@ -17,21 +18,92 @@ TEST(Stats, AccumulateSumsCountersAndMaxesPeak) {
   b.lp_calls = 7;
   b.peak_bytes = 250;
   b.elapsed_ms = 0.5;
+  a.cache_hits = 2;
+  a.cache_misses = 1;
+  b.cache_semantic_hits = 4;
+  b.cache_evictions = 5;
   a += b;
   EXPECT_EQ(a.candidates, 13);
   EXPECT_EQ(a.lp_calls, 12);
   EXPECT_EQ(a.peak_bytes, 250);  // max, not sum
   EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+  // The serving-layer counters sum like the execution counters, so
+  // RunBatch/QueryBatch totals report trace-wide hit/miss/eviction counts.
+  EXPECT_EQ(a.cache_hits, 2);
+  EXPECT_EQ(a.cache_semantic_hits, 4);
+  EXPECT_EQ(a.cache_misses, 1);
+  EXPECT_EQ(a.cache_evictions, 5);
 }
 
 TEST(Stats, ToStringContainsAllFields) {
   QueryStats s;
   s.candidates = 42;
   s.drills = 7;
+  s.cache_semantic_hits = 3;
   const std::string str = s.ToString();
   EXPECT_NE(str.find("candidates=42"), std::string::npos);
   EXPECT_NE(str.find("drills=7"), std::string::npos);
   EXPECT_NE(str.find("lp_calls=0"), std::string::npos);
+  EXPECT_NE(str.find("cache_semantic_hits=3"), std::string::npos);
+  EXPECT_NE(str.find("cache_misses=0"), std::string::npos);
+}
+
+TEST(Stats, CsvRoundTrips) {
+  QueryStats s;
+  s.candidates = 42;
+  s.lp_calls = 17;
+  s.rdom_tests = 3;
+  s.cells_created = 99;
+  s.halfspaces_inserted = 12;
+  s.drills = 7;
+  s.verify_calls = 4;
+  s.heap_pops = 1000;
+  s.peak_bytes = 1 << 20;
+  s.cache_hits = 5;
+  s.cache_semantic_hits = 2;
+  s.cache_misses = 9;
+  s.cache_evictions = 1;
+  s.elapsed_ms = 1.25e-3;
+
+  // Header and row have the same arity, and every field survives the trip —
+  // elapsed_ms at full double precision.
+  const std::string header = QueryStats::CsvHeader();
+  const std::string row = s.CsvRow();
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(header.find("cache_hits"), std::string::npos);
+  EXPECT_NE(header.find("cache_evictions"), std::string::npos);
+
+  auto parsed = QueryStats::FromCsvRow(row);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidates, s.candidates);
+  EXPECT_EQ(parsed->lp_calls, s.lp_calls);
+  EXPECT_EQ(parsed->rdom_tests, s.rdom_tests);
+  EXPECT_EQ(parsed->cells_created, s.cells_created);
+  EXPECT_EQ(parsed->halfspaces_inserted, s.halfspaces_inserted);
+  EXPECT_EQ(parsed->drills, s.drills);
+  EXPECT_EQ(parsed->verify_calls, s.verify_calls);
+  EXPECT_EQ(parsed->heap_pops, s.heap_pops);
+  EXPECT_EQ(parsed->peak_bytes, s.peak_bytes);
+  EXPECT_EQ(parsed->cache_hits, s.cache_hits);
+  EXPECT_EQ(parsed->cache_semantic_hits, s.cache_semantic_hits);
+  EXPECT_EQ(parsed->cache_misses, s.cache_misses);
+  EXPECT_EQ(parsed->cache_evictions, s.cache_evictions);
+  EXPECT_DOUBLE_EQ(parsed->elapsed_ms, s.elapsed_ms);
+
+  // Default-constructed stats round-trip too (all-zero row).
+  auto zero = QueryStats::FromCsvRow(QueryStats{}.CsvRow());
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->candidates, 0);
+  EXPECT_DOUBLE_EQ(zero->elapsed_ms, 0.0);
+
+  // Malformed rows are rejected, not misparsed.
+  EXPECT_FALSE(QueryStats::FromCsvRow("").has_value());
+  EXPECT_FALSE(QueryStats::FromCsvRow("1,2,3").has_value());
+  EXPECT_FALSE(QueryStats::FromCsvRow(row + ",1").has_value());
+  std::string bad = row;
+  bad.replace(bad.find("42"), 2, "xx");
+  EXPECT_FALSE(QueryStats::FromCsvRow(bad).has_value());
 }
 
 TEST(Stats, TimerMeasuresElapsed) {

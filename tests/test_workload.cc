@@ -49,6 +49,75 @@ TEST(Workload, BatchVariesAcrossQueries) {
   EXPECT_TRUE(differs);
 }
 
+TEST(Workload, SubBoxContainedInParent) {
+  Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    ConvexRegion parent = RandomQueryBox(3, 0.1, rng);
+    const Scalar shrink = rng.Uniform(0.2, 1.0);
+    ConvexRegion sub = RandomSubBox(parent, shrink, rng);
+    ASSERT_TRUE(sub.is_box());
+    EXPECT_TRUE(parent.ContainsRegion(sub));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(sub.box_hi()[i] - sub.box_lo()[i],
+                  shrink * (parent.box_hi()[i] - parent.box_lo()[i]), 1e-12);
+    }
+  }
+}
+
+TEST(Workload, ServeTraceShapesAndDeterminism) {
+  ServeTraceOptions opt;
+  opt.pref_dim = 2;
+  opt.sigma = 0.1;
+  opt.hot_regions = 3;
+  opt.repeat_fraction = 0.4;
+  opt.subregion_fraction = 0.3;
+  opt.seed = 77;
+  ServeTrace a = MakeServeTrace(200, opt);
+  ASSERT_EQ(a.queries.size(), 200u);
+  ASSERT_EQ(a.kinds.size(), 200u);
+  ASSERT_EQ(a.hot.size(), 3u);
+
+  int repeats = 0, subs = 0, fresh = 0;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    switch (a.kinds[i]) {
+      case TraceKind::kRepeat: {
+        // An exact copy of some hot region.
+        bool matches_hot = false;
+        for (const ConvexRegion& h : a.hot)
+          if (h.box_lo() == a.queries[i].box_lo() &&
+              h.box_hi() == a.queries[i].box_hi())
+            matches_hot = true;
+        EXPECT_TRUE(matches_hot) << i;
+        ++repeats;
+        break;
+      }
+      case TraceKind::kSubregion: {
+        // Contained in some hot region (the containment-hit path).
+        bool contained = false;
+        for (const ConvexRegion& h : a.hot)
+          if (h.ContainsRegion(a.queries[i])) contained = true;
+        EXPECT_TRUE(contained) << i;
+        ++subs;
+        break;
+      }
+      case TraceKind::kFresh:
+        ++fresh;
+        break;
+    }
+  }
+  // With 200 draws, every kind must appear, roughly per its fraction.
+  EXPECT_GT(repeats, 40);
+  EXPECT_GT(subs, 20);
+  EXPECT_GT(fresh, 20);
+
+  // Deterministic in the seed.
+  ServeTrace b = MakeServeTrace(200, opt);
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].box_lo(), b.queries[i].box_lo());
+    EXPECT_TRUE(a.kinds[i] == b.kinds[i]);
+  }
+}
+
 TEST(Workload, LargeSigmaHighDimStillFits) {
   // sigma * dim close to 1: rejection may fail, fallback must kick in.
   Rng rng(3);
