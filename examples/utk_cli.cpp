@@ -4,17 +4,23 @@
 //   generate  --dist IND|COR|ANTI|HOTEL|HOUSE|NBA --n N --dim D --seed S
 //             --out FILE.csv
 //   utk1      --data FILE.csv --k K --box lo1,hi1,lo2,hi2,...   (pref domain)
-//             [--algo auto|rsa|jaa|sk|on|naive]
+//             [--algo auto|rsa|jaa|sk|on|naive] [--shards S] [--tiles T]
+//             [--partitioner rr|spatial] [--threads N]
 //   utk2      --data FILE.csv --k K --box ...  [--algo auto|jaa|sk|on]
+//             [--shards S] [--tiles T] [--partitioner rr|spatial]
 //   topk      --data FILE.csv --k K --weights w1,w2,...         (full domain)
 //   immutable --data FILE.csv --k K --weights w1,w2,...
 //   serve     --data FILE.csv [--trace FILE|-] [--gen N --mode utk1|utk2
 //             --k K --sigma S --seed SEED] [--cache-entries N] [--cache-mb M]
-//             [--semantic 0|1] [--threads T]
+//             [--semantic 0|1] [--threads T] [--shards S] [--tiles T]
+//             [--partitioner rr|spatial]
 //
-// All UTK dispatch goes through utk::Engine: the CLI builds one engine per
-// dataset (R-tree included) and submits a declarative QuerySpec; --algo
-// defaults to auto, letting the engine plan.
+// All UTK dispatch goes through the QueryEngine interface: the CLI builds
+// one engine per dataset (R-tree included) and submits a declarative
+// QuerySpec; --algo defaults to auto, letting the engine plan. With
+// --shards S and/or --tiles T (> 1) the query runs on the partitioned
+// engine (src/dist/), which decomposes it across data shards and region
+// tiles and prints the per-shard candidate-pool sizes per tile.
 //
 // `serve` answers a stream of queries through the src/serve result cache and
 // reports the hit-rate. The stream comes from --trace (one query per line:
@@ -43,6 +49,7 @@
 #include "data/io.h"
 #include "data/realistic.h"
 #include "data/workload.h"
+#include "dist/partitioned_engine.h"
 #include "serve/server.h"
 
 namespace {
@@ -117,6 +124,48 @@ ConvexRegion BoxOrDie(const std::map<std::string, std::string>& flags,
   return ConvexRegion::FromBox(lo, hi);
 }
 
+/// --shards/--tiles/--partitioner/--threads -> a DistConfig; exits on an
+/// unknown partitioner name. Decomposition is requested when S or T > 1.
+DistConfig DistConfigFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  DistConfig config;
+  if (flags.count("shards"))
+    config.shards = std::atoi(flags.at("shards").c_str());
+  if (flags.count("tiles"))
+    config.tiles = std::atoi(flags.at("tiles").c_str());
+  if (flags.count("threads"))
+    config.threads = std::atoi(flags.at("threads").c_str());
+  if (flags.count("partitioner")) {
+    auto p = ParsePartitioner(flags.at("partitioner"));
+    if (!p.has_value()) {
+      std::fprintf(stderr, "error: unknown --partitioner %s (rr|spatial)\n",
+                   flags.at("partitioner").c_str());
+      std::exit(2);
+    }
+    config.partitioner = *p;
+  }
+  return config;
+}
+
+bool WantsDist(const DistConfig& config) {
+  return config.shards > 1 || config.tiles > 1;
+}
+
+/// Per-tile sharded-filter breakdown: shard candidate pools, their union,
+/// and the refinement band the pool refiltered into.
+void PrintDistDetail(const DistDetail& detail) {
+  for (size_t t = 0; t < detail.filter.size(); ++t) {
+    const ShardFilterReport& f = detail.filter[t];
+    std::fprintf(stderr, "[dist] tile %zu: shard pools", t);
+    for (int64_t c : f.shard_candidates)
+      std::fprintf(stderr, " %lld", static_cast<long long>(c));
+    std::fprintf(stderr, " -> pool %lld -> band %lld (filter critical %.3f ms)\n",
+                 static_cast<long long>(f.pool),
+                 static_cast<long long>(detail.band_sizes[t]),
+                 f.critical_ms);
+  }
+}
+
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   const std::string dist =
       flags.count("dist") ? flags.at("dist") : std::string("IND");
@@ -163,7 +212,17 @@ int CmdUtk(const std::map<std::string, std::string>& flags, bool second) {
     }
     spec.algorithm = *algo;
   }
-  QueryResult r = engine.Run(spec);
+  const DistConfig dist = DistConfigFromFlags(flags);
+  QueryResult r;
+  if (WantsDist(dist)) {
+    PartitionedEngine partitioned(
+        std::make_shared<const Engine>(std::move(engine)), dist);
+    DistDetail detail;
+    r = partitioned.Run(spec, nullptr, &detail);
+    if (r.ok) PrintDistDetail(detail);
+  } else {
+    r = engine.Run(spec);
+  }
   if (!r.ok) {
     std::fprintf(stderr, "error: %s\n", r.error.c_str());
     return 1;
@@ -247,7 +306,19 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         << 20;
   if (flags.count("semantic"))
     config.semantic_reuse = std::atoi(flags.at("semantic").c_str()) != 0;
-  Server server(std::move(loaded), config);
+  // --shards/--tiles back the server with the partitioned engine; tiled
+  // misses then admit one containment donor per tile (see serve/server.h).
+  const DistConfig dist = DistConfigFromFlags(flags);
+  std::shared_ptr<const QueryEngine> backend;
+  if (WantsDist(dist)) {
+    backend = std::make_shared<const PartitionedEngine>(
+        std::make_shared<const Engine>(std::move(loaded)), dist);
+    std::fprintf(stderr, "[dist] serving with %d shards (%s), %d tiles\n",
+                 dist.shards, PartitionerName(dist.partitioner), dist.tiles);
+  } else {
+    backend = std::make_shared<const Engine>(std::move(loaded));
+  }
+  Server server(std::move(backend), config);
 
   std::vector<QuerySpec> specs;
   if (flags.count("trace")) {

@@ -118,10 +118,13 @@ BatchQueryResult Engine::RunBatch(std::span<const QuerySpec> specs,
   ParallelFor(static_cast<int>(specs.size()),
               threads <= 0 ? DefaultThreads() : threads,
               [&](int i) { batch.results[i] = Run(specs[i]); });
+  std::vector<QueryStats> stats;
+  stats.reserve(batch.results.size());
   for (const QueryResult& r : batch.results) {
-    batch.total += r.stats;
+    stats.push_back(r.stats);
     if (!r.ok) ++batch.failed;
   }
+  batch.total = QueryStats::Merge(stats);
   return batch;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/query.h"
+#include "api/query_engine.h"
 #include "common/types.h"
 #include "index/rtree.h"
 
@@ -36,7 +37,11 @@ struct BatchQueryResult {
 // heavy, so share a single instance (e.g. via std::shared_ptr<const Engine>)
 // instead of copying. Moving is cheap and safe — the R-tree stores record
 // ids, never pointers into the dataset vector.
-class Engine {
+//
+// Engine implements the QueryEngine contract (api/query_engine.h); the
+// serving layer accepts either this engine or the partitioned one
+// (dist/partitioned_engine.h) through that interface.
+class Engine final : public QueryEngine {
  public:
   /// Takes ownership of `data` and bulk-loads the R-tree once. The dataset
   /// must satisfy the repo invariant data[i].id == i (all generators and
@@ -52,26 +57,25 @@ class Engine {
   /// Returns nullopt when the file is missing, malformed, or empty.
   static std::optional<Engine> FromCsvFile(const std::string& path);
 
-  const Dataset& data() const { return data_; }
+  using QueryEngine::Run;  // the sink overload forwards to Run(spec)
+
+  const Dataset& data() const override { return data_; }
   const RTree& tree() const { return tree_; }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
-  int dim() const { return DataDim(data_); }
-  int pref_dim() const { return PrefDim(dim()); }
 
   /// The algorithm `spec` will execute with: resolves kAuto against this
   /// engine's dataset, leaves explicit choices untouched.
-  Algorithm Plan(const QuerySpec& spec) const;
+  Algorithm Plan(const QuerySpec& spec) const override;
 
   /// The rejection rules Run applies before executing, without running:
   /// nullopt when `spec` would execute, otherwise the exact diagnostic Run
   /// would return. The serving layer uses this to bypass its cache for
   /// specs the engine will reject.
-  std::optional<std::string> Validate(const QuerySpec& spec) const;
+  std::optional<std::string> Validate(const QuerySpec& spec) const override;
 
   /// Answers one query. Invalid specs (k < 1, region dimensionality
   /// mismatch, algorithm/mode combinations that cannot answer — e.g. RSA
   /// for UTK2) come back with ok == false and a diagnostic, never a crash.
-  QueryResult Run(const QuerySpec& spec) const;
+  QueryResult Run(const QuerySpec& spec) const override;
 
   /// Answers independent queries concurrently (threads <= 0 means
   /// DefaultThreads()). results[i] always answers specs[i] and equals what
@@ -81,7 +85,7 @@ class Engine {
 
   /// Convenience: the plain top-k for reduced weight vector `w`, answered
   /// over the engine's R-tree (branch-and-bound, no dataset scan).
-  std::vector<int32_t> TopK(const Vec& w, int k) const;
+  std::vector<int32_t> TopK(const Vec& w, int k) const override;
 
  private:
   Dataset data_;

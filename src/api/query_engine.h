@@ -1,0 +1,74 @@
+// QueryEngine — the abstract query-answering contract behind the serving
+// layer and the CLI.
+//
+// Two implementations exist: utk::Engine (api/engine.h), the single-machine
+// engine that owns one dataset and one R-tree, and utk::PartitionedEngine
+// (dist/partitioned_engine.h), which decomposes each query across data
+// shards and region tiles but answers the same QuerySpec/QueryResult
+// contract. Callers that only *submit* queries (serve/server.h, utk_cli)
+// depend on this interface, so either engine can back them.
+//
+// Implementations must be const-thread-safe: Plan/Validate/Run/TopK may be
+// called concurrently from any number of threads.
+#ifndef UTK_API_QUERY_ENGINE_H_
+#define UTK_API_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "common/types.h"
+
+namespace utk {
+
+/// Observer for the complete sub-answers a decomposing engine produces on
+/// the way to the full answer — one call per region tile of a partitioned
+/// run, each a full QueryResult for the sub-spec it is paired with. The
+/// serving layer admits these into its result cache as containment donors,
+/// so a tiled execution warms the semantic cache for free. May be invoked
+/// concurrently from worker threads; engines that do not decompose never
+/// invoke it.
+using PartialResultSink =
+    std::function<void(const QuerySpec& sub_spec, const QueryResult& result)>;
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// The dataset queries are answered over (data[i].id == i invariant).
+  virtual const Dataset& data() const = 0;
+
+  /// The algorithm `spec` will execute with (kAuto resolved).
+  virtual Algorithm Plan(const QuerySpec& spec) const = 0;
+
+  /// The rejection rules Run applies, without running: nullopt when `spec`
+  /// would execute, otherwise the exact diagnostic Run would return.
+  virtual std::optional<std::string> Validate(const QuerySpec& spec) const = 0;
+
+  /// Answers one query; invalid specs come back with ok == false and a
+  /// diagnostic, never a crash.
+  virtual QueryResult Run(const QuerySpec& spec) const = 0;
+
+  /// Answers one query, reporting complete sub-answers to `sink` as they
+  /// finish. The default forwards to Run — only decomposing engines
+  /// (src/dist/) have sub-answers to report.
+  virtual QueryResult Run(const QuerySpec& spec,
+                          const PartialResultSink& sink) const {
+    (void)sink;
+    return Run(spec);
+  }
+
+  /// The plain top-k for reduced weight vector `w`.
+  virtual std::vector<int32_t> TopK(const Vec& w, int k) const = 0;
+
+  int64_t size() const { return static_cast<int64_t>(data().size()); }
+  int dim() const { return DataDim(data()); }
+  int pref_dim() const { return PrefDim(dim()); }
+};
+
+}  // namespace utk
+
+#endif  // UTK_API_QUERY_ENGINE_H_

@@ -52,6 +52,12 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   return *this;
 }
 
+QueryStats QueryStats::Merge(std::span<const QueryStats> parts) {
+  QueryStats total;
+  for (const QueryStats& p : parts) total += p;
+  return total;
+}
+
 std::string QueryStats::ToString() const {
   std::ostringstream os;
   os << "candidates=" << candidates << " lp_calls=" << lp_calls

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 namespace utk {
@@ -35,6 +36,14 @@ struct QueryStats {
   double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
 
   QueryStats& operator+=(const QueryStats& o);
+
+  /// Merges per-part stats into one: counters (and elapsed_ms) sum, peak
+  /// gauges take the max. This is the one aggregation rule for everything
+  /// that fans work out — Engine::RunBatch over queries, Server::QueryBatch
+  /// over a trace, and the partitioned engine (src/dist/) over shards and
+  /// region tiles. An empty span merges to default-constructed stats.
+  static QueryStats Merge(std::span<const QueryStats> parts);
+
   std::string ToString() const;
 
   /// CSV serialization: a fixed header and one row per QueryStats, every

@@ -210,23 +210,39 @@ void Solve(const JaaContext& ctx, const Zone& zone, const Bitset& prefix,
                Bitset(ctx.g.size()));
 }
 
+// The refinement step (Section 5): the anchor recursion over a computed
+// band, appending its counters to result->stats and emitting cells.
+void Refine(const Jaa::Options& options, const Dataset& data,
+            const RSkybandResult& band, const ConvexRegion& r, int k,
+            Utk2Result* result) {
+  RDominanceGraph g = RDominanceGraph::Build(band);
+
+  auto interior = FindInteriorPoint(r.constraints());
+  assert(interior.has_value() && interior->radius > 0);
+
+  JaaContext ctx{data, band, g, options, k, result, &result->stats};
+  Zone zone{r.constraints(), interior->x, interior->radius};
+  Solve(ctx, zone, Bitset(g.size()), k, Bitset(g.size()));
+}
+
 }  // namespace
 
 Utk2Result Jaa::Run(const Dataset& data, const RTree& tree,
                     const ConvexRegion& r, int k) const {
   Utk2Result result;
   Timer timer;
-
   RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
-  RDominanceGraph g = RDominanceGraph::Build(band);
+  Refine(options_, data, band, r, k, &result);
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
 
-  auto interior = FindInteriorPoint(r.constraints());
-  assert(interior.has_value() && interior->radius > 0);
-
-  JaaContext ctx{data, band, g, options_, k, &result, &result.stats};
-  Zone zone{r.constraints(), interior->x, interior->radius};
-  Solve(ctx, zone, Bitset(g.size()), k, Bitset(g.size()));
-
+Utk2Result Jaa::RunFiltered(const Dataset& data, const RSkybandResult& band,
+                            const ConvexRegion& r, int k) const {
+  Utk2Result result;
+  Timer timer;
+  result.stats.candidates = static_cast<int64_t>(band.ids.size());
+  Refine(options_, data, band, r, k, &result);
   result.stats.elapsed_ms = timer.ElapsedMs();
   return result;
 }

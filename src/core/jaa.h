@@ -17,6 +17,7 @@
 
 #include "core/utk.h"
 #include "index/rtree.h"
+#include "skyline/rskyband.h"
 
 namespace utk {
 
@@ -35,6 +36,13 @@ class Jaa {
   /// Answers UTK2 for `data` (indexed by `tree`), parameter `k`, region `r`.
   Utk2Result Run(const Dataset& data, const RTree& tree, const ConvexRegion& r,
                  int k) const;
+
+  /// Refinement only: builds the common global arrangement from an
+  /// already-computed filter output (see Rsa::RunFiltered for the band
+  /// contract). Used by the partitioned engine (src/dist/) to refine a
+  /// pooled band produced by per-shard filtering.
+  Utk2Result RunFiltered(const Dataset& data, const RSkybandResult& band,
+                         const ConvexRegion& r, int k) const;
 
  private:
   Options options_ = {};

@@ -144,14 +144,11 @@ bool Verify(const VerifyContext& ctx, const std::vector<Halfspace>& bounds,
   return false;
 }
 
-}  // namespace
-
-Utk1Result Rsa::Run(const Dataset& data, const RTree& tree,
-                    const ConvexRegion& r, int k) const {
-  Utk1Result result;
-  Timer timer;
-
-  RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
+// The refinement step (Section 4.2): candidate verification over a computed
+// band, appending its counters to result->stats and filling result->ids.
+void Refine(const Rsa::Options& options, const Dataset& data,
+            const RSkybandResult& band, const ConvexRegion& r, int k,
+            Utk1Result* result) {
   RDominanceGraph g = RDominanceGraph::Build(band);
   const int n = g.size();
 
@@ -173,8 +170,8 @@ Utk1Result Rsa::Run(const Dataset& data, const RTree& tree,
 
   for (int p : order) {
     if (state[p] != State::kUnknown) continue;
-    VerifyContext ctx{data, band, g, options_, p,
-                      MakeScore(data[band.ids[p]]), &result.stats};
+    VerifyContext ctx{data, band, g, options, p,
+                      MakeScore(data[band.ids[p]]), &result->stats};
     // Ancestors are ignored and their count is absorbed into the quota.
     Bitset ignored = g.Ancestors(p);
     const int quota = k - g.Ancestors(p).CountAnd(g.Active());
@@ -190,8 +187,28 @@ Utk1Result Rsa::Run(const Dataset& data, const RTree& tree,
   }
 
   for (int i = 0; i < n; ++i)
-    if (state[i] == State::kInResult) result.ids.push_back(band.ids[i]);
-  std::sort(result.ids.begin(), result.ids.end());
+    if (state[i] == State::kInResult) result->ids.push_back(band.ids[i]);
+  std::sort(result->ids.begin(), result->ids.end());
+}
+
+}  // namespace
+
+Utk1Result Rsa::Run(const Dataset& data, const RTree& tree,
+                    const ConvexRegion& r, int k) const {
+  Utk1Result result;
+  Timer timer;
+  RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
+  Refine(options_, data, band, r, k, &result);
+  result.stats.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+Utk1Result Rsa::RunFiltered(const Dataset& data, const RSkybandResult& band,
+                            const ConvexRegion& r, int k) const {
+  Utk1Result result;
+  Timer timer;
+  result.stats.candidates = static_cast<int64_t>(band.ids.size());
+  Refine(options_, data, band, r, k, &result);
   result.stats.elapsed_ms = timer.ElapsedMs();
   return result;
 }

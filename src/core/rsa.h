@@ -36,6 +36,15 @@ class Rsa {
   Utk1Result Run(const Dataset& data, const RTree& tree,
                  const ConvexRegion& r, int k) const;
 
+  /// Refinement only: answers UTK1 from an already-computed filter output.
+  /// `band` must cover every top-k set over `r` and carry the r-dominance
+  /// arcs within itself — either ComputeRSkyband's output or a pooled band
+  /// from ComputeRSkybandFromPool (the partitioned engine's sharded filter,
+  /// src/dist/). `stats.candidates` reports the band size; the filter's own
+  /// cost is whoever produced the band's to account.
+  Utk1Result RunFiltered(const Dataset& data, const RSkybandResult& band,
+                         const ConvexRegion& r, int k) const;
+
  private:
   Options options_ = {};
 };

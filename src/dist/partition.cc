@@ -1,0 +1,67 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace utk {
+namespace {
+
+// STR-style recursive slicing: sort the slice by one attribute (cycling
+// through dimensions with depth), cut it proportionally to the shard split,
+// and recurse — the same sort-tile idea RTree::BulkLoad packs leaves with.
+void SpatialSlice(const Dataset& data, std::vector<int32_t> ids, int shards,
+                  int depth, std::vector<std::vector<int32_t>>* out) {
+  if (shards <= 1) {
+    out->push_back(std::move(ids));
+    return;
+  }
+  const int lo_shards = shards / 2;
+  const int axis = depth % DataDim(data);
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    const Scalar va = data[a].attrs[axis], vb = data[b].attrs[axis];
+    return va != vb ? va < vb : a < b;
+  });
+  const size_t cut = ids.size() * lo_shards / shards;
+  std::vector<int32_t> lo(ids.begin(), ids.begin() + cut);
+  std::vector<int32_t> hi(ids.begin() + cut, ids.end());
+  SpatialSlice(data, std::move(lo), lo_shards, depth + 1, out);
+  SpatialSlice(data, std::move(hi), shards - lo_shards, depth + 1, out);
+}
+
+}  // namespace
+
+const char* PartitionerName(Partitioner p) {
+  switch (p) {
+    case Partitioner::kRoundRobin: return "rr";
+    case Partitioner::kSpatial: return "spatial";
+  }
+  return "?";
+}
+
+std::optional<Partitioner> ParsePartitioner(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "rr" || s == "roundrobin") return Partitioner::kRoundRobin;
+  if (s == "spatial" || s == "str") return Partitioner::kSpatial;
+  return std::nullopt;
+}
+
+std::vector<std::vector<int32_t>> PartitionIds(const Dataset& data,
+                                               int shards, Partitioner p) {
+  shards = std::max(1, shards);
+  std::vector<std::vector<int32_t>> out;
+  if (p == Partitioner::kRoundRobin || data.empty()) {
+    out.resize(shards);
+    for (size_t i = 0; i < data.size(); ++i)
+      out[i % shards].push_back(static_cast<int32_t>(i));
+    return out;
+  }
+  std::vector<int32_t> ids(data.size());
+  for (size_t i = 0; i < data.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  out.reserve(shards);
+  SpatialSlice(data, std::move(ids), shards, 0, &out);
+  return out;
+}
+
+}  // namespace utk

@@ -1,0 +1,48 @@
+// Data-sharding partitioners for the partitioned engine.
+//
+// A partitioner assigns every record of a dataset to exactly one of S
+// shards. Shards are an execution detail, not a semantic one: the sharded
+// filter unions per-shard r-skybands into a candidate pool that provably
+// covers every top-k set over the query region (see
+// dist/partitioned_engine.h), so any assignment is correct. The two
+// policies trade robustness against filter selectivity:
+//   kRoundRobin  record i -> shard i % S. Every shard sees the same
+//                distribution, so per-shard work is naturally balanced.
+//   kSpatial     STR-style recursive slicing of the data domain (the same
+//                sort-tile idea the R-tree bulk load uses): spatially
+//                coherent shards whose local skybands overlap less, giving
+//                a smaller union pool at the risk of skewed shard loads.
+// Both are deterministic; either may produce empty shards when S exceeds
+// the cardinality (the engine tolerates them).
+#ifndef UTK_DIST_PARTITION_H_
+#define UTK_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace utk {
+
+enum class Partitioner {
+  kRoundRobin,  ///< record i -> shard i % S
+  kSpatial,     ///< STR-style recursive slicing of the data domain
+};
+
+const char* PartitionerName(Partitioner p);
+
+/// Parses "rr" / "roundrobin" / "spatial" / "str" (case-insensitive).
+std::optional<Partitioner> ParsePartitioner(const std::string& name);
+
+/// Assigns every record id of `data` to one of `shards` lists. Always
+/// returns exactly `shards` lists (some possibly empty); ids within a list
+/// are in ascending order for kRoundRobin and in slicing order for
+/// kSpatial.
+std::vector<std::vector<int32_t>> PartitionIds(const Dataset& data,
+                                               int shards, Partitioner p);
+
+}  // namespace utk
+
+#endif  // UTK_DIST_PARTITION_H_

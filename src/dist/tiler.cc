@@ -1,0 +1,52 @@
+#include "dist/tiler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace utk {
+namespace {
+
+void TileRec(const ConvexRegion& region, int tiles,
+             std::vector<ConvexRegion>* out) {
+  if (tiles <= 1) {
+    out->push_back(region);
+    return;
+  }
+  const int lo_tiles = tiles / 2;
+  // Candidate axes, widest extent first; the cut point divides the extent
+  // in proportion to the tile budget split.
+  struct Axis {
+    Scalar extent, lo;
+    int axis;
+  };
+  std::vector<Axis> axes;
+  for (int a = 0; a < region.dim(); ++a) {
+    Vec unit(region.dim(), 0.0);
+    unit[a] = 1.0;
+    auto range = region.RangeOf(unit, 0.0);
+    if (range.has_value())
+      axes.push_back({range->second - range->first, range->first, a});
+  }
+  std::sort(axes.begin(), axes.end(), [](const Axis& x, const Axis& y) {
+    return x.extent != y.extent ? x.extent > y.extent : x.axis < y.axis;
+  });
+  for (const Axis& a : axes) {
+    const Scalar t = a.lo + a.extent * lo_tiles / tiles;
+    if (auto halves = region.SplitAlongAxis(a.axis, t)) {
+      TileRec(halves->first, lo_tiles, out);
+      TileRec(halves->second, tiles - lo_tiles, out);
+      return;
+    }
+  }
+  out->push_back(region);  // nothing splittable: deliver fewer tiles
+}
+
+}  // namespace
+
+std::vector<ConvexRegion> TileRegion(const ConvexRegion& region, int tiles) {
+  std::vector<ConvexRegion> out;
+  TileRec(region, std::max(1, tiles), &out);
+  return out;
+}
+
+}  // namespace utk

@@ -1,0 +1,29 @@
+// Region tiling for the partitioned engine: cut a query region R into T
+// convex tiles that partition it (tiles are closed and share only cut
+// hyperplanes, so their interiors are disjoint and their union is R).
+//
+// Tiles are produced by recursive binary splitting with
+// ConvexRegion::SplitAlongAxis: each step cuts the widest axis at the point
+// that divides the tile budget proportionally, so a budget of 3 yields one
+// half-tile and two quarter-tiles. Because UTK answers compose over a
+// partition of R — UTK1 as the union of per-tile id sets, UTK2 by
+// concatenating per-tile cell lists — each tile can be solved
+// independently and merged (dist/partitioned_engine.h).
+#ifndef UTK_DIST_TILER_H_
+#define UTK_DIST_TILER_H_
+
+#include <vector>
+
+#include "geometry/region.h"
+
+namespace utk {
+
+/// Cuts `region` into at most `tiles` convex tiles partitioning it.
+/// Deterministic. May return fewer tiles than asked when no axis admits a
+/// non-degenerate cut (e.g. a region already thinner than kInteriorEps
+/// along every axis); always returns at least {region}.
+std::vector<ConvexRegion> TileRegion(const ConvexRegion& region, int tiles);
+
+}  // namespace utk
+
+#endif  // UTK_DIST_TILER_H_

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <utility>
 
@@ -45,7 +46,7 @@ void SortUnique(std::vector<int32_t>* ids) {
 
 }  // namespace
 
-Server::Server(std::shared_ptr<const Engine> engine, CacheConfig config)
+Server::Server(std::shared_ptr<const QueryEngine> engine, CacheConfig config)
     : engine_(std::move(engine)), cache_(config) {}
 
 Server::Server(Engine engine, CacheConfig config)
@@ -83,9 +84,27 @@ QueryResult Server::Query(const QuerySpec& spec) {
     // Degenerate restriction (the requested region only grazes the donor's
     // cells): fall through to a full run, counted as a miss everywhere.
   }
-  QueryResult r = engine_->Run(spec);
-  if (r.ok) r.stats.cache_evictions = cache_.Admit(spec, planned, r);
+  QueryResult r = RunAndAdmit(spec, planned);
   r.stats.cache_misses = 1;
+  return r;
+}
+
+QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned) {
+  // A decomposing engine (dist/partitioned_engine.h) reports each completed
+  // region tile — a full answer for its sub-region — and every tile is
+  // admitted as a containment donor. The sink may run on the engine's
+  // worker threads; the cache is internally synchronized and the eviction
+  // tally is atomic.
+  std::atomic<int64_t> tile_evictions{0};
+  PartialResultSink sink = [&](const QuerySpec& sub, const QueryResult& part) {
+    if (part.ok)
+      tile_evictions.fetch_add(cache_.Admit(sub, planned, part),
+                               std::memory_order_relaxed);
+  };
+  QueryResult r = engine_->Run(spec, sink);
+  if (r.ok)
+    r.stats.cache_evictions = tile_evictions.load(std::memory_order_relaxed) +
+                              cache_.Admit(spec, planned, r);
   return r;
 }
 
@@ -216,10 +235,13 @@ BatchQueryResult Server::QueryBatch(std::span<const QuerySpec> specs,
   ParallelFor(static_cast<int>(specs.size()),
               threads <= 0 ? DefaultThreads() : threads,
               [&](int i) { batch.results[i] = Query(specs[i]); });
+  std::vector<QueryStats> stats;
+  stats.reserve(batch.results.size());
   for (const QueryResult& r : batch.results) {
-    batch.total += r.stats;
+    stats.push_back(r.stats);
     if (!r.ok) ++batch.failed;
   }
+  batch.total = QueryStats::Merge(stats);
   return batch;
 }
 

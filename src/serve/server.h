@@ -1,12 +1,19 @@
 // Server — a serving session that answers UTK queries cache-first.
 //
-// A Server wraps a shared, immutable Engine (see engine.h: Run/TopK are
-// const-thread-safe, so one engine can back many concurrent sessions) and a
-// ResultCache. Query resolution order:
+// A Server wraps a shared, immutable QueryEngine (api/query_engine.h) — the
+// single-machine utk::Engine or the sharded/tiled utk::PartitionedEngine,
+// both const-thread-safe, so one engine can back many concurrent sessions —
+// and a ResultCache. Query resolution order:
 //   1. exact fingerprint hit  -> return the cached result verbatim;
 //   2. semantic hit           -> restrict a containing donor's answer to the
 //                                requested region (see below);
-//   3. miss                   -> Engine::Run, then Admit the fresh result.
+//   3. miss                   -> QueryEngine::Run, then Admit the fresh
+//                                result. A decomposing engine additionally
+//                                reports each completed region tile through
+//                                the PartialResultSink, and every tile is
+//                                admitted as a containment donor of its
+//                                sub-region — tiled execution warms the
+//                                semantic cache for free.
 //
 // Restriction of a donor answered over R to a requested region R' ⊆ R:
 //   * UTK2 from a JAA donor: clip every cell (cell bounds + R' constraints),
@@ -45,11 +52,12 @@ namespace utk {
 class Server {
  public:
   /// Shares `engine` (it must outlive the server if the caller keeps using
-  /// it; the shared_ptr keeps it alive otherwise).
-  explicit Server(std::shared_ptr<const Engine> engine,
+  /// it; the shared_ptr keeps it alive otherwise). Accepts any QueryEngine
+  /// implementation — Engine and PartitionedEngine both qualify.
+  explicit Server(std::shared_ptr<const QueryEngine> engine,
                   CacheConfig config = {});
 
-  /// Convenience: takes ownership of an engine.
+  /// Convenience: takes ownership of a single-machine engine.
   explicit Server(Engine engine, CacheConfig config = {});
 
   /// Answers one query cache-first. Invalid specs bypass the cache and come
@@ -62,16 +70,20 @@ class Server {
   BatchQueryResult QueryBatch(std::span<const QuerySpec> specs,
                               int threads = 0);
 
-  const Engine& engine() const { return *engine_; }
-  std::shared_ptr<const Engine> shared_engine() const { return engine_; }
+  const QueryEngine& engine() const { return *engine_; }
+  std::shared_ptr<const QueryEngine> shared_engine() const { return engine_; }
   ResultCache& cache() { return cache_; }
   CacheCounters cache_counters() const { return cache_.Counters(); }
 
  private:
   QueryResult ServeFromDonor(const QuerySpec& spec,
                              CacheLookup donor) const;
+  /// Full engine execution with per-tile donor admission (miss path and
+  /// degenerate-restriction fallback). Admits the full result too; returns
+  /// it with cache_evictions charged.
+  QueryResult RunAndAdmit(const QuerySpec& spec, Algorithm planned);
 
-  std::shared_ptr<const Engine> engine_;
+  std::shared_ptr<const QueryEngine> engine_;
   ResultCache cache_;
 };
 

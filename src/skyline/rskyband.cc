@@ -1,6 +1,8 @@
 #include "skyline/rskyband.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <queue>
 
 #include "geometry/linear.h"
@@ -28,11 +30,36 @@ Scalar CornerScore(const Vec& corner, const Vec& pivot) {
 RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
                                QueryStats* stats) {
+  static const std::vector<Record> kNoPruners;
+  return ComputeRSkyband(data, tree, r, k, kNoPruners, stats);
+}
+
+RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
+                               const ConvexRegion& r, int k,
+                               const std::vector<Record>& pruners,
+                               QueryStats* stats) {
   RSkybandResult result;
   auto pivot = r.Pivot();
   assert(pivot.has_value() && "query region has empty interior");
   result.pivot = *pivot;
   if (tree.empty()) return result;
+
+  // Pruners ordered strongest-first at the pivot. Together with the heap
+  // key (an entry's pivot score) this admits an exact early break in every
+  // scan below: r-dominating a record or an optimistic corner requires a
+  // region-wide gap >= -kEps (rdominance.h), and the pivot lies in R, so a
+  // record whose pivot score falls kEps below the entry's key — and, in a
+  // descending list, everything after it — can be skipped wholesale.
+  std::vector<int> pruner_order(pruners.size());
+  std::iota(pruner_order.begin(), pruner_order.end(), 0);
+  std::vector<Scalar> pruner_score(pruners.size());
+  for (size_t i = 0; i < pruners.size(); ++i)
+    pruner_score[i] = Score(pruners[i], result.pivot);
+  std::sort(pruner_order.begin(), pruner_order.end(),
+            [&](int a, int b) { return pruner_score[a] > pruner_score[b]; });
+  // Confirmed members pop (and append) in decreasing pivot-score order, so
+  // their score list is born sorted and the same break applies.
+  std::vector<Scalar> member_score;
 
   std::priority_queue<HeapEntry> heap;
   heap.push({CornerScore(tree.node(tree.root()).mbb.TopCorner(), result.pivot),
@@ -43,15 +70,26 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
     heap.pop();
     if (stats != nullptr) ++stats->heap_pops;
     if (e.is_record) {
-      // Collect all confirmed members that r-dominate this record; keep it
-      // if there are fewer than k.
-      std::vector<int> doms;
+      // Count external pruners first (they are chosen to be strong, so the
+      // k threshold trips early), then collect the confirmed members that
+      // r-dominate this record; keep it if the total stays below k.
+      int pruner_doms = 0;
       bool pruned = false;
-      for (size_t i = 0; i < result.ids.size(); ++i) {
+      for (int i : pruner_order) {
+        if (pruner_score[i] < e.key - kEps) break;
+        if (RDominance(pruners[i], data[e.id], r, stats) ==
+                RDom::kDominates &&
+            ++pruner_doms >= k) {
+          pruned = true;
+          break;
+        }
+      }
+      std::vector<int> doms;
+      for (size_t i = 0; !pruned && i < result.ids.size(); ++i) {
         if (RDominance(data[result.ids[i]], data[e.id], r, stats) ==
             RDom::kDominates) {
           doms.push_back(static_cast<int>(i));
-          if (static_cast<int>(doms.size()) >= k) {
+          if (static_cast<int>(doms.size()) + pruner_doms >= k) {
             pruned = true;
             break;
           }
@@ -60,14 +98,26 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
       if (!pruned) {
         result.ids.push_back(e.id);
         result.dominators.push_back(std::move(doms));
+        member_score.push_back(e.key);
       }
     } else {
       const RTreeNode& node = tree.node(e.id);
-      // Prune the subtree if k members r-dominate its optimistic top corner.
+      // Prune the subtree if k records (pruners or members) r-dominate its
+      // optimistic top corner.
       int count = 0;
       bool pruned = false;
-      for (int32_t cid : result.ids) {
-        if (RDominatesCorner(data[cid], node.mbb.TopCorner(), r, stats) &&
+      for (int i : pruner_order) {
+        if (pruner_score[i] < e.key - kEps) break;
+        if (RDominatesCorner(pruners[i], node.mbb.TopCorner(), r, stats) &&
+            ++count >= k) {
+          pruned = true;
+          break;
+        }
+      }
+      for (size_t i = 0; !pruned && i < result.ids.size(); ++i) {
+        if (member_score[i] < e.key - kEps) break;
+        if (RDominatesCorner(data[result.ids[i]], node.mbb.TopCorner(), r,
+                             stats) &&
             ++count >= k) {
           pruned = true;
           break;
@@ -83,6 +133,43 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                  result.pivot),
                      false, child});
       }
+    }
+  }
+  if (stats != nullptr)
+    stats->candidates = static_cast<int64_t>(result.ids.size());
+  return result;
+}
+
+RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
+                                       std::vector<int32_t> pool,
+                                       const ConvexRegion& r, int k,
+                                       QueryStats* stats) {
+  RSkybandResult result;
+  auto pivot = r.Pivot();
+  assert(pivot.has_value() && "query region has empty interior");
+  result.pivot = *pivot;
+
+  std::sort(pool.begin(), pool.end(), [&](int32_t a, int32_t b) {
+    const Scalar sa = Score(data[a], result.pivot);
+    const Scalar sb = Score(data[b], result.pivot);
+    return sa != sb ? sa > sb : a < b;
+  });
+  for (int32_t id : pool) {
+    std::vector<int> doms;
+    bool pruned = false;
+    for (size_t i = 0; i < result.ids.size(); ++i) {
+      if (RDominance(data[result.ids[i]], data[id], r, stats) ==
+          RDom::kDominates) {
+        doms.push_back(static_cast<int>(i));
+        if (static_cast<int>(doms.size()) >= k) {
+          pruned = true;
+          break;
+        }
+      }
+    }
+    if (!pruned) {
+      result.ids.push_back(id);
+      result.dominators.push_back(std::move(doms));
     }
   }
   if (stats != nullptr)

@@ -38,6 +38,34 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
                                QueryStats* stats = nullptr);
 
+/// As above, with external `pruners`: records pre-confirmed for pruning
+/// only — r-dominators found among them count toward the k threshold (for
+/// both subtree and record pruning) but pruners are never emitted. The
+/// output is {p in data : #r-dominators of p within data ∪ pruners < k}.
+/// Pruners must not duplicate records of `data` (a duplicate would count
+/// itself as its own dominator and over-prune). The partitioned engine
+/// (src/dist/) seeds each shard's filter with globally strong records this
+/// way, restoring global-strength pruning inside every shard.
+RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
+                               const ConvexRegion& r, int k,
+                               const std::vector<Record>& pruners,
+                               QueryStats* stats = nullptr);
+
+/// The filtering step over an explicit candidate pool: `pool` record ids act
+/// as both the candidates and the only competitors — no R-tree involved.
+/// When the pool is a superset of every top-k set over `r` (e.g. the union
+/// of per-shard r-skybands, see src/dist/), the output supports exactly the
+/// same refinement as the global filter: members outside the global
+/// r-skyband have >= k r-dominators inside the pool too and are pruned, and
+/// every global r-skyband member survives. Candidates are processed in
+/// decreasing pivot-score order (ties by id), which preserves the
+/// dominators-confirmed-first invariant documented above, so the r-dominance
+/// graph again falls out for free.
+RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
+                                       std::vector<int32_t> pool,
+                                       const ConvexRegion& r, int k,
+                                       QueryStats* stats = nullptr);
+
 /// Brute-force oracle (O(n^2) r-dominance tests), for tests.
 std::vector<int32_t> RSkybandBruteForce(const Dataset& data,
                                         const ConvexRegion& r, int k);

@@ -12,6 +12,7 @@
 
 #include "data/generator.h"
 #include "data/workload.h"
+#include "dist/partitioned_engine.h"
 
 namespace utk {
 namespace {
@@ -435,6 +436,46 @@ TEST_F(ServeTestBase, ConcurrentMixedLoadIsDeterministic) {
       EXPECT_GT(counters.exact_hits + counters.semantic_hits, 0);
     }
   }
+}
+
+// A Server backed by the partitioned engine (src/dist/) through the
+// QueryEngine interface: answers equal the single-engine server's, and a
+// tiled miss admits one donor per region tile on top of the full result, so
+// later sub-region queries inside a single tile are semantic hits against
+// tile donors.
+TEST_F(ServeTestBase, PartitionedEngineServesAndTilesWarmTheCache) {
+  DistConfig config;
+  config.shards = 3;
+  config.tiles = 3;
+  config.threads = 2;
+  auto dist = std::make_shared<const PartitionedEngine>(engine_, config);
+  Server server(dist);
+
+  ConvexRegion region = ConvexRegion::FromBox({0.15, 0.2}, {0.39, 0.38});
+  QuerySpec spec = MakeSpec(QueryMode::kUtk2, 4, region);
+  QueryResult miss = server.Query(spec);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_EQ(miss.stats.cache_misses, 1);
+  EXPECT_EQ(miss.ids, engine_->Run(spec).ids);
+  // One admission per tile plus the full result.
+  EXPECT_EQ(server.cache_counters().inserts, 4);
+
+  // An exact repeat is a verbatim hit.
+  QueryResult hit = server.Query(spec);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.stats.cache_hits, 1);
+  EXPECT_EQ(hit.ids, miss.ids);
+
+  // A strict sub-region of one *tile* (the region's left third along axis 0
+  // lies inside the first-level cut) is served semantically from a donor —
+  // and the restriction equals the fresh engine answer.
+  ConvexRegion sub = ConvexRegion::FromBox({0.16, 0.22}, {0.2, 0.3});
+  QuerySpec sub_spec = MakeSpec(QueryMode::kUtk2, 4, sub);
+  QueryResult semantic = server.Query(sub_spec);
+  ASSERT_TRUE(semantic.ok) << semantic.error;
+  EXPECT_EQ(semantic.stats.cache_semantic_hits, 1);
+  EXPECT_EQ(semantic.ids, engine_->Run(sub_spec).ids);
+  EXPECT_EQ(TopkSets(semantic.utk2), TopkSets(engine_->Run(sub_spec).utk2));
 }
 
 // The speedup the cache exists for: serving a warm exact-hit query must be

@@ -35,6 +35,43 @@ TEST(Stats, AccumulateSumsCountersAndMaxesPeak) {
   EXPECT_EQ(a.cache_evictions, 5);
 }
 
+TEST(Stats, MergeSumsCountersAndMaxesPeakGauges) {
+  QueryStats a, b, c;
+  a.candidates = 10;
+  a.lp_calls = 5;
+  a.peak_bytes = 100;
+  a.heap_pops = 7;
+  a.elapsed_ms = 1.5;
+  b.candidates = 3;
+  b.peak_bytes = 250;
+  b.cache_hits = 2;
+  b.elapsed_ms = 0.5;
+  c.lp_calls = 4;
+  c.peak_bytes = 30;
+  c.cache_evictions = 1;
+
+  const QueryStats parts[] = {a, b, c};
+  QueryStats total = QueryStats::Merge(parts);
+  EXPECT_EQ(total.candidates, 13);
+  EXPECT_EQ(total.lp_calls, 9);
+  EXPECT_EQ(total.heap_pops, 7);
+  EXPECT_EQ(total.peak_bytes, 250);  // max, not sum
+  EXPECT_EQ(total.cache_hits, 2);
+  EXPECT_EQ(total.cache_evictions, 1);
+  EXPECT_DOUBLE_EQ(total.elapsed_ms, 2.0);
+
+  // Merge agrees with folding operator+= (it is the same rule), and an
+  // empty span merges to default stats.
+  QueryStats folded;
+  for (const QueryStats& p : parts) folded += p;
+  EXPECT_EQ(total.candidates, folded.candidates);
+  EXPECT_EQ(total.peak_bytes, folded.peak_bytes);
+  QueryStats empty = QueryStats::Merge({});
+  EXPECT_EQ(empty.candidates, 0);
+  EXPECT_EQ(empty.peak_bytes, 0);
+  EXPECT_DOUBLE_EQ(empty.elapsed_ms, 0.0);
+}
+
 TEST(Stats, ToStringContainsAllFields) {
   QueryStats s;
   s.candidates = 42;
