@@ -14,6 +14,10 @@
 //             --k K --sigma S --seed SEED] [--cache-entries N] [--cache-mb M]
 //             [--semantic 0|1] [--threads T] [--shards S] [--tiles T]
 //             [--partitioner rr|spatial]
+//   updates   --data FILE.csv [--ops N] [--batch B] [--insert-frac F]
+//             [--dist IND|COR|ANTI] [--mode utk1|utk2] [--k K] [--sigma S]
+//             [--queries Q] [--band-k K] [--band-slack S] [--seed SEED]
+//             [--verify 0|1] [--serve 0|1]
 //
 // All UTK dispatch goes through the QueryEngine interface: the CLI builds
 // one engine per dataset (R-tree included) and submits a declarative
@@ -26,6 +30,12 @@
 // reports the hit-rate. The stream comes from --trace (one query per line:
 // `utk1|utk2 K lo1,hi1,lo2,hi2,...`, '#' comments, '-' for stdin) or is a
 // synthetic overlapping workload from data/workload.h (--gen count).
+//
+// `updates` drives the live-update subsystem (src/live/): it loads the data
+// into a LiveEngine, applies a deterministic mixed insert/erase trace in
+// batches, answers queries between batches (cache-first through a Server
+// with epoch invalidation when --serve 1), and with --verify 1 checks every
+// answer against a from-scratch Engine on the final catalog.
 //
 // Examples:
 //   utk_cli generate --dist ANTI --n 10000 --dim 4 --out anti.csv
@@ -50,6 +60,7 @@
 #include "data/realistic.h"
 #include "data/workload.h"
 #include "dist/partitioned_engine.h"
+#include "live/live_engine.h"
 #include "serve/server.h"
 
 namespace {
@@ -81,8 +92,8 @@ std::vector<Scalar> ParseList(const std::string& s) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: utk_cli <generate|utk1|utk2|topk|immutable|serve> "
-               "[--flags]\n"
+               "usage: utk_cli <generate|utk1|utk2|topk|immutable|serve|"
+               "updates> [--flags]\n"
                "see the header of examples/utk_cli.cpp for details\n");
   return 2;
 }
@@ -397,6 +408,142 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return batch.failed == 0 ? 0 : 1;
 }
 
+int CmdUpdates(const std::map<std::string, std::string>& flags) {
+  auto intf = [&](const char* name, int fallback) {
+    return flags.count(name) ? std::atoi(flags.at(name).c_str()) : fallback;
+  };
+  Engine loaded = EngineOrDie(flags);
+  const int pref_dim = loaded.pref_dim();
+  const int ops = intf("ops", 500);
+  const int batch = std::max(1, intf("batch", 25));
+  const int queries = intf("queries", 3);
+  const int k = intf("k", 5);
+  const bool verify = intf("verify", 1) != 0;
+  const bool use_serve = intf("serve", 1) != 0;
+  const uint64_t seed =
+      flags.count("seed") ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
+                          : 42;
+  const Scalar sigma =
+      flags.count("sigma") ? std::atof(flags.at("sigma").c_str()) : 0.1;
+
+  LiveConfig config;
+  config.band_k = std::max(k, intf("band-k", 16));
+  config.band_slack = intf("band-slack", 16);
+
+  UpdateTraceOptions trace_opt;
+  if (flags.count("insert-frac"))
+    trace_opt.insert_fraction = std::atof(flags.at("insert-frac").c_str());
+  // Fresh inserts follow --dist so an ANTI/COR catalog keeps its joint
+  // shape under updates (MakeUpdateTrace defaults to IND otherwise).
+  if (flags.count("dist"))
+    trace_opt.dist = ParseDistribution(flags.at("dist"));
+  trace_opt.seed = seed;
+  Dataset initial = loaded.data();
+  std::vector<UpdateOp> trace = MakeUpdateTrace(initial, ops, trace_opt);
+
+  auto live = std::make_shared<LiveEngine>(std::move(initial), config);
+  Server server(live, CacheConfig{});
+  std::optional<CacheAttachment> link;
+  if (use_serve) link.emplace(*live, server.cache());
+
+  QuerySpec base;
+  base.mode = flags.count("mode") && flags.at("mode") == "utk2"
+                  ? QueryMode::kUtk2
+                  : QueryMode::kUtk1;
+  base.k = k;
+  Rng qrng(seed ^ 0xabcdefull);
+
+  Timer total;
+  size_t cursor = 0;
+  while (cursor < trace.size()) {
+    const size_t n = std::min<size_t>(batch, trace.size() - cursor);
+    Timer t;
+    live->ApplyBatch(std::span<const UpdateOp>(trace.data() + cursor, n));
+    const double update_ms = t.ElapsedMs();
+    cursor += n;
+    double query_ms = 0.0;
+    for (int q = 0; q < queries; ++q) {
+      QuerySpec spec = base;
+      spec.region = RandomQueryBox(pref_dim, sigma, qrng);
+      QueryResult r = use_serve ? server.Query(spec) : live->Run(spec);
+      if (!r.ok) {
+        std::fprintf(stderr, "error at epoch %llu: %s\n",
+                     static_cast<unsigned long long>(live->epoch()),
+                     r.error.c_str());
+        return 1;
+      }
+      query_ms += r.stats.elapsed_ms;
+    }
+    LiveCounters c = live->counters();
+    std::printf(
+        "epoch %llu: live=%lld band=%lld rebuilds=%lld  batch %.3f ms, "
+        "%d queries %.3f ms\n",
+        static_cast<unsigned long long>(c.epoch),
+        static_cast<long long>(c.live), static_cast<long long>(c.band),
+        static_cast<long long>(c.band_rebuilds), update_ms, queries, query_ms);
+  }
+
+  LiveCounters c = live->counters();
+  std::printf(
+      "applied %lld inserts / %lld erases in %.2f ms total; %lld band "
+      "rebuilds; %lld pool / %lld direct / %lld fallback queries\n",
+      static_cast<long long>(c.inserts), static_cast<long long>(c.erases),
+      total.ElapsedMs(), static_cast<long long>(c.band_rebuilds),
+      static_cast<long long>(c.pool_queries),
+      static_cast<long long>(c.direct_queries),
+      static_cast<long long>(c.fallback_queries));
+  if (use_serve) {
+    CacheCounters cc = server.cache_counters();
+    std::printf(
+        "cache: %lld exact, %lld semantic, %lld miss, %lld invalidated over "
+        "%lld sweeps, %lld stale admits refused\n",
+        static_cast<long long>(cc.exact_hits),
+        static_cast<long long>(cc.semantic_hits),
+        static_cast<long long>(cc.misses),
+        static_cast<long long>(cc.invalidated),
+        static_cast<long long>(cc.invalidation_sweeps),
+        static_cast<long long>(cc.stale_rejects));
+  }
+
+  if (verify) {
+    // Every differential-suite query must match a from-scratch Engine on
+    // the final catalog, with compact ids mapped back to live ids.
+    std::vector<int32_t> live_ids;
+    Engine rebuilt(live->CompactSnapshot(&live_ids));
+    int checked = 0;
+    for (int q = 0; q < std::max(queries, 5); ++q) {
+      QuerySpec spec = base;
+      spec.region = RandomQueryBox(pref_dim, sigma, qrng);
+      QueryResult want = rebuilt.Run(spec);
+      QueryResult got = live->Run(spec);
+      if (want.ok != got.ok) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: ok-ness diverged (rebuild: %s, live: "
+                     "%s)\n",
+                     want.ok ? "ok" : want.error.c_str(),
+                     got.ok ? "ok" : got.error.c_str());
+        return 1;
+      }
+      if (!want.ok) continue;  // both rejected identically
+      std::vector<int32_t> mapped = want.ids;
+      for (int32_t& id : mapped) id = live_ids[id];
+      if (got.ids != mapped) {
+        std::fprintf(stderr, "VERIFY FAILED: live engine diverged from a "
+                             "from-scratch rebuild\n");
+        return 1;
+      }
+      ++checked;
+    }
+    if (checked == 0) {
+      std::fprintf(stderr, "VERIFY FAILED: no query ran on both engines\n");
+      return 1;
+    }
+    std::printf("verify: %d queries equal a from-scratch Engine rebuild\n",
+                checked);
+  }
+  return 0;
+}
+
 Vec WeightsOrDie(const std::map<std::string, std::string>& flags, int dim) {
   if (!flags.count("weights")) {
     std::fprintf(stderr, "error: --weights w1,...,w%d is required\n", dim);
@@ -451,5 +598,6 @@ int main(int argc, char** argv) {
   if (cmd == "topk") return CmdTopk(flags);
   if (cmd == "immutable") return CmdImmutable(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "updates") return CmdUpdates(flags);
   return Usage();
 }

@@ -64,6 +64,14 @@ class QueryEngine {
   /// The plain top-k for reduced weight vector `w`.
   virtual std::vector<int32_t> TopK(const Vec& w, int k) const = 0;
 
+  /// Version of the dataset answers are computed against. Immutable engines
+  /// are forever at epoch 0; a live engine (src/live/) advances the epoch on
+  /// every committed update batch. The serving layer reads the epoch before
+  /// running a query and tags the cached result with it, so results computed
+  /// against a superseded dataset are never admitted as current (see
+  /// serve/result_cache.h).
+  virtual uint64_t epoch() const { return 0; }
+
   int64_t size() const { return static_cast<int64_t>(data().size()); }
   int dim() const { return DataDim(data()); }
   int pref_dim() const { return PrefDim(dim()); }

@@ -13,8 +13,8 @@ namespace {
 constexpr const char* kCsvHeader =
     "candidates,lp_calls,rdom_tests,cells_created,halfspaces_inserted,"
     "drills,verify_calls,heap_pops,peak_bytes,cache_hits,cache_semantic_hits,"
-    "cache_misses,cache_evictions,elapsed_ms";
-constexpr int kCsvFields = 14;
+    "cache_misses,cache_evictions,epoch,elapsed_ms";
+constexpr int kCsvFields = 15;
 
 std::vector<int64_t QueryStats::*> CounterFields() {
   return {&QueryStats::candidates,
@@ -29,7 +29,8 @@ std::vector<int64_t QueryStats::*> CounterFields() {
           &QueryStats::cache_hits,
           &QueryStats::cache_semantic_hits,
           &QueryStats::cache_misses,
-          &QueryStats::cache_evictions};
+          &QueryStats::cache_evictions,
+          &QueryStats::epoch};
 }
 
 }  // namespace
@@ -48,6 +49,7 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   cache_semantic_hits += o.cache_semantic_hits;
   cache_misses += o.cache_misses;
   cache_evictions += o.cache_evictions;
+  epoch = std::max(epoch, o.epoch);
   elapsed_ms += o.elapsed_ms;
   return *this;
 }
@@ -67,7 +69,8 @@ std::string QueryStats::ToString() const {
      << " peak_bytes=" << peak_bytes << " cache_hits=" << cache_hits
      << " cache_semantic_hits=" << cache_semantic_hits
      << " cache_misses=" << cache_misses
-     << " cache_evictions=" << cache_evictions << " elapsed_ms=" << elapsed_ms;
+     << " cache_evictions=" << cache_evictions << " epoch=" << epoch
+     << " elapsed_ms=" << elapsed_ms;
   return os.str();
 }
 

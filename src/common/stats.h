@@ -33,6 +33,10 @@ struct QueryStats {
   int64_t cache_semantic_hits = 0;  ///< region-containment cache hits
   int64_t cache_misses = 0;         ///< full engine executions
   int64_t cache_evictions = 0;      ///< LRU evictions during admission
+  /// Dataset epoch the answer was computed at (QueryEngine::epoch()): 0 for
+  /// immutable engines, the number of committed update batches for a live
+  /// engine (src/live/). A gauge, not a counter — Merge takes the max.
+  int64_t epoch = 0;
   double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
 
   QueryStats& operator+=(const QueryStats& o);

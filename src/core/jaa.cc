@@ -233,6 +233,7 @@ Utk2Result Jaa::Run(const Dataset& data, const RTree& tree,
   Timer timer;
   RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
   Refine(options_, data, band, r, k, &result);
+  result.Canonicalize();
   result.stats.elapsed_ms = timer.ElapsedMs();
   return result;
 }
@@ -243,6 +244,7 @@ Utk2Result Jaa::RunFiltered(const Dataset& data, const RSkybandResult& band,
   Timer timer;
   result.stats.candidates = static_cast<int64_t>(band.ids.size());
   Refine(options_, data, band, r, k, &result);
+  result.Canonicalize();
   result.stats.elapsed_ms = timer.ElapsedMs();
   return result;
 }

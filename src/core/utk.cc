@@ -16,6 +16,26 @@ std::vector<int32_t> Utk2Result::AllRecords() const {
   return all;
 }
 
+namespace {
+
+bool CellLess(const Utk2Cell& a, const Utk2Cell& b) {
+  if (a.topk != b.topk) return a.topk < b.topk;
+  if (a.witness != b.witness) return a.witness < b.witness;
+  return a.bounds.size() < b.bounds.size();
+}
+
+}  // namespace
+
+void Utk2Result::Canonicalize() {
+  std::stable_sort(cells.begin(), cells.end(), CellLess);
+}
+
+bool Utk2Result::IsCanonical() const {
+  for (size_t i = 1; i < cells.size(); ++i)
+    if (CellLess(cells[i], cells[i - 1])) return false;
+  return true;
+}
+
 int64_t Utk2Result::NumDistinctTopkSets() const {
   // Cell top-k sets are already sorted ascending (the algorithms emit them
   // that way), so sorting the flat list of sets and deduplicating adjacent

@@ -39,6 +39,17 @@ struct Utk2Result {
   /// Number of *distinct* top-k sets across the cells (the paper's Fig. 12(d)
   /// metric; adjacent cells produced by different anchors may repeat a set).
   int64_t NumDistinctTopkSets() const;
+
+  /// Sorts cells into the one canonical order every producer emits: by top-k
+  /// set, then witness, then constraint count (all lexicographic). Cells of
+  /// one result partition R, so witnesses are distinct interior points and
+  /// the order is a deterministic function of the partition — recursion
+  /// order, tile concatenation seams (src/dist/), and donor clipping
+  /// (src/serve/) all wash out. Every Utk2Result handed to a caller must be
+  /// canonical; the differential harness asserts it instead of re-sorting.
+  void Canonicalize();
+  /// True iff the cells are already in canonical order.
+  bool IsCanonical() const;
 };
 
 }  // namespace utk

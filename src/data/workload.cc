@@ -80,4 +80,59 @@ ServeTrace MakeServeTrace(int count, const ServeTraceOptions& opt) {
   return trace;
 }
 
+std::vector<UpdateOp> MakeUpdateTrace(const Dataset& initial, int count,
+                                      const UpdateTraceOptions& opt) {
+  Rng rng(opt.seed);
+  // Fresh records come from one pre-generated pool so the trace keeps the
+  // requested distribution's joint shape (COR/ANTI correlate attributes
+  // within a record).
+  const int dim = DataDim(initial);
+  assert(dim > 0 && "update traces need a non-empty initial catalog");
+  Dataset pool = Generate(opt.dist, std::max(count, 1), dim, opt.seed ^ 0x9e3779b97f4a7c15ull);
+  size_t next_pool = 0;
+
+  std::vector<int32_t> live(initial.size());
+  std::iota(live.begin(), live.end(), 0);
+  std::vector<Record> dead;  // erased records, revivable verbatim
+  int32_t next_id = static_cast<int32_t>(initial.size());
+
+  std::vector<UpdateOp> ops;
+  ops.reserve(count);
+  // Remember live attrs so erased records can be revived; initial records
+  // are read from `initial`, inserted ones from the ops already emitted.
+  std::vector<Record> catalog = initial;
+
+  for (int i = 0; i < count; ++i) {
+    const bool insert = live.empty() || rng.Uniform() < opt.insert_fraction;
+    UpdateOp op;
+    if (insert) {
+      op.kind = UpdateKind::kInsert;
+      if (!dead.empty() && rng.Uniform() < opt.reinsert_fraction) {
+        const int pick = rng.UniformInt(0, static_cast<int>(dead.size()) - 1);
+        op.record = dead[pick];
+        dead.erase(dead.begin() + pick);
+        live.push_back(op.record.id);
+      } else {
+        op.record = pool[next_pool++ % pool.size()];
+        op.record.id = -1;  // engine assigns next_id
+        Record assigned = op.record;
+        assigned.id = next_id;
+        if (next_id >= static_cast<int32_t>(catalog.size()))
+          catalog.resize(next_id + 1);
+        catalog[next_id] = assigned;
+        live.push_back(next_id++);
+      }
+      if (op.record.id >= 0) catalog[op.record.id] = op.record;
+    } else {
+      op.kind = UpdateKind::kErase;
+      const int pick = rng.UniformInt(0, static_cast<int>(live.size()) - 1);
+      op.id = live[pick];
+      live.erase(live.begin() + pick);
+      dead.push_back(catalog[op.id]);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
 }  // namespace utk

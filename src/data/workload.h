@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/types.h"
+#include "data/generator.h"
 #include "geometry/region.h"
 
 namespace utk {
@@ -57,6 +59,36 @@ struct ServeTrace {
   std::vector<TraceKind> kinds;
 };
 ServeTrace MakeServeTrace(int count, const ServeTraceOptions& opt);
+
+/// One catalog mutation of an update trace (the live-update workload for
+/// src/live/LiveEngine).
+enum class UpdateKind { kInsert, kErase };
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  /// kInsert: the record to add. record.id == -1 asks the engine to assign
+  /// the next id; a non-negative id re-inserts a previously erased record
+  /// under its old id.
+  Record record;
+  /// kErase: the id to remove.
+  int32_t id = -1;
+};
+
+/// Knobs for MakeUpdateTrace.
+struct UpdateTraceOptions {
+  double insert_fraction = 0.5;    ///< share of ops that are inserts
+  double reinsert_fraction = 0.3;  ///< share of inserts reviving an erased id
+  Distribution dist = Distribution::kIndependent;  ///< fresh-record shape
+  uint64_t seed = 1;
+};
+
+/// A deterministic mixed insert/erase trace of `count` ops against a catalog
+/// that starts as `initial` (records ids 0..n-1). Erases always target a
+/// currently-live id; fresh inserts carry id -1 and the generator assumes
+/// the engine assigns ids sequentially from initial.size() (LiveEngine's
+/// contract), so later erases can target them. Reinserts revive an erased
+/// record verbatim under its old id. Deterministic in the seed.
+std::vector<UpdateOp> MakeUpdateTrace(const Dataset& initial, int count,
+                                      const UpdateTraceOptions& opt);
 
 }  // namespace utk
 

@@ -248,7 +248,8 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   });
 
   // Merge — UTK1: sorted union of tile id sets; UTK2: concatenated cell
-  // lists (tiles partition R, so cells never overlap across tiles).
+  // lists (tiles partition R, so cells never overlap across tiles),
+  // re-canonicalized so the tile seam order never leaks to callers.
   QueryResult out;
   out.ok = true;
   out.mode = spec.mode;
@@ -261,6 +262,7 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   }
   std::sort(out.ids.begin(), out.ids.end());
   out.ids.erase(std::unique(out.ids.begin(), out.ids.end()), out.ids.end());
+  out.utk2.Canonicalize();
 
   // Counters sum across every shard and tile; `candidates` reports the
   // refinement input (the pooled bands), matching Engine::Run's semantics,

@@ -22,6 +22,12 @@ void Mbb::Expand(const Mbb& other) {
   }
 }
 
+bool Mbb::Contains(const Vec& v) const {
+  for (size_t i = 0; i < lo.size(); ++i)
+    if (v[i] < lo[i] || v[i] > hi[i]) return false;
+  return true;
+}
+
 Mbb Mbb::Empty(int dim) {
   Mbb m;
   m.lo.assign(dim, std::numeric_limits<Scalar>::infinity());
@@ -117,7 +123,223 @@ RTree RTree::BulkLoad(const Dataset& data) {
     ++tree.height_;
   }
   tree.root_ = level.front();
+  tree.num_records_ = static_cast<int64_t>(data.size());
   return tree;
+}
+
+int32_t RTree::Alloc(RTreeNode node) {
+  if (!free_.empty()) {
+    const int32_t id = free_.back();
+    free_.pop_back();
+    nodes_[id] = std::move(node);
+    return id;
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+void RTree::RecomputeMbb(const Dataset& data, int32_t node_id) {
+  RTreeNode& n = nodes_[node_id];
+  const int dim = static_cast<int>(n.mbb.lo.size());
+  n.mbb = Mbb::Empty(dim);
+  if (n.is_leaf) {
+    for (int32_t rid : n.record_ids) n.mbb.Expand(data[rid].attrs);
+  } else {
+    for (int32_t child : n.entries) n.mbb.Expand(nodes_[child].mbb);
+  }
+}
+
+int32_t RTree::Split(const Dataset& data, int32_t node_id) {
+  // Deterministic half-half split along the axis with the widest spread of
+  // entry keys (record coordinates for leaves, MBB centers for internal
+  // nodes), ties broken by child/record id so repeated runs build identical
+  // trees.
+  const bool is_leaf = nodes_[node_id].is_leaf;
+  std::vector<int32_t> items =
+      is_leaf ? nodes_[node_id].record_ids : nodes_[node_id].entries;
+  const int dim = static_cast<int>(nodes_[node_id].mbb.lo.size());
+  auto coord = [&](int32_t item, int d) {
+    if (is_leaf) return data[item].attrs[d];
+    const Mbb& m = nodes_[item].mbb;
+    return 0.5 * (m.lo[d] + m.hi[d]);
+  };
+  int axis = 0;
+  Scalar best_spread = -1.0;
+  for (int d = 0; d < dim; ++d) {
+    Scalar lo = coord(items.front(), d), hi = lo;
+    for (int32_t item : items) {
+      lo = std::min(lo, coord(item, d));
+      hi = std::max(hi, coord(item, d));
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      axis = d;
+    }
+  }
+  std::sort(items.begin(), items.end(), [&](int32_t a, int32_t b) {
+    const Scalar ca = coord(a, axis), cb = coord(b, axis);
+    return ca != cb ? ca < cb : a < b;
+  });
+  const size_t half = items.size() / 2;
+
+  RTreeNode upper;
+  upper.is_leaf = is_leaf;
+  upper.mbb = Mbb::Empty(dim);
+  std::vector<int32_t> lower_items(items.begin(), items.begin() + half);
+  std::vector<int32_t> upper_items(items.begin() + half, items.end());
+  (is_leaf ? upper.record_ids : upper.entries) = std::move(upper_items);
+  const int32_t sibling = Alloc(std::move(upper));  // may reallocate nodes_
+  RTreeNode& n = nodes_[node_id];
+  (is_leaf ? n.record_ids : n.entries) = std::move(lower_items);
+  RecomputeMbb(data, node_id);
+  RecomputeMbb(data, sibling);
+  return sibling;
+}
+
+void RTree::Insert(const Dataset& data, int32_t id) {
+  const Vec& p = data[id].attrs;
+  const int dim = static_cast<int>(p.size());
+  ++num_records_;
+  if (nodes_.empty()) {
+    RTreeNode leaf;
+    leaf.is_leaf = true;
+    leaf.mbb = Mbb::Empty(dim);
+    leaf.mbb.Expand(p);
+    leaf.record_ids.push_back(id);
+    root_ = Alloc(std::move(leaf));
+    height_ = 1;
+    return;
+  }
+
+  // Descend by least MBB enlargement (ties: smaller resulting volume, then
+  // smaller node id), expanding boxes on the way down.
+  std::vector<int32_t> path;
+  int32_t cur = root_;
+  for (;;) {
+    path.push_back(cur);
+    nodes_[cur].mbb.Expand(p);
+    if (nodes_[cur].is_leaf) break;
+    int32_t best = -1;
+    Scalar best_enlarge = 0.0, best_volume = 0.0;
+    for (int32_t child : nodes_[cur].entries) {
+      const Mbb& m = nodes_[child].mbb;
+      Scalar volume = 1.0, enlarged = 1.0;
+      for (int d = 0; d < dim; ++d) {
+        volume *= m.hi[d] - m.lo[d];
+        enlarged *= std::max(m.hi[d], p[d]) - std::min(m.lo[d], p[d]);
+      }
+      const Scalar enlarge = enlarged - volume;
+      if (best == -1 || enlarge < best_enlarge ||
+          (enlarge == best_enlarge &&
+           (volume < best_volume ||
+            (volume == best_volume && child < best)))) {
+        best = child;
+        best_enlarge = enlarge;
+        best_volume = volume;
+      }
+    }
+    cur = best;
+  }
+  nodes_[cur].record_ids.push_back(id);
+
+  // Propagate splits while a node on the path overflows.
+  for (int level = static_cast<int>(path.size()) - 1; level >= 0; --level) {
+    const int32_t node_id = path[level];
+    const size_t fill = nodes_[node_id].is_leaf
+                            ? nodes_[node_id].record_ids.size()
+                            : nodes_[node_id].entries.size();
+    if (fill <= kFanout) break;
+    const int32_t sibling = Split(data, node_id);
+    if (level == 0) {
+      RTreeNode root;
+      root.is_leaf = false;
+      root.mbb = nodes_[node_id].mbb;
+      root.mbb.Expand(nodes_[sibling].mbb);
+      root.entries = {node_id, sibling};
+      root_ = Alloc(std::move(root));
+      ++height_;
+      break;
+    }
+    nodes_[path[level - 1]].entries.push_back(sibling);
+  }
+}
+
+std::vector<int32_t> RTree::FindLeaf(const Dataset& data, int32_t id) const {
+  const Vec& p = data[id].attrs;
+  std::vector<int32_t> path;
+  // Iterative DFS; MBBs are exact hulls, so containment pruning is safe.
+  std::vector<std::pair<int32_t, size_t>> stack;  // (node, next child index)
+  if (root_ < 0 || !nodes_[root_].mbb.Contains(p)) return {};
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [cur, next] = stack.back();
+    const RTreeNode& n = nodes_[cur];
+    if (n.is_leaf) {
+      for (int32_t rid : n.record_ids) {
+        if (rid == id) {
+          path.reserve(stack.size());
+          for (const auto& [node_id, unused] : stack) path.push_back(node_id);
+          return path;
+        }
+      }
+      stack.pop_back();
+      continue;
+    }
+    bool descended = false;
+    while (next < n.entries.size()) {
+      const int32_t child = n.entries[next++];
+      if (nodes_[child].mbb.Contains(p)) {
+        stack.emplace_back(child, 0);  // invalidates cur/next; loop re-reads
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) stack.pop_back();
+  }
+  return {};
+}
+
+bool RTree::Erase(const Dataset& data, int32_t id) {
+  std::vector<int32_t> path = FindLeaf(data, id);
+  if (path.empty()) return false;
+  --num_records_;
+
+  RTreeNode& leaf = nodes_[path.back()];
+  leaf.record_ids.erase(
+      std::find(leaf.record_ids.begin(), leaf.record_ids.end(), id));
+
+  // Walk up: drop emptied children, tighten MBBs exactly.
+  for (int level = static_cast<int>(path.size()) - 1; level >= 0; --level) {
+    const int32_t node_id = path[level];
+    if (level + 1 < static_cast<int>(path.size())) {
+      const int32_t child = path[level + 1];
+      const RTreeNode& c = nodes_[child];
+      if ((c.is_leaf ? c.record_ids.empty() : c.entries.empty())) {
+        RTreeNode& n = nodes_[node_id];
+        n.entries.erase(std::find(n.entries.begin(), n.entries.end(), child));
+        free_.push_back(child);
+      }
+    }
+    RecomputeMbb(data, node_id);
+  }
+
+  // Collapse a degenerate root: empty tree resets fully, an internal root
+  // with one child hands the root to that child.
+  for (;;) {
+    RTreeNode& r = nodes_[root_];
+    if (r.is_leaf ? r.record_ids.empty() : r.entries.empty()) {
+      nodes_.clear();
+      free_.clear();
+      root_ = -1;
+      height_ = 0;
+      return true;
+    }
+    if (r.is_leaf || r.entries.size() > 1) return true;
+    const int32_t only = r.entries.front();
+    free_.push_back(root_);
+    root_ = only;
+    --height_;
+  }
 }
 
 }  // namespace utk

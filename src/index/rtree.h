@@ -28,6 +28,10 @@ struct Mbb {
   /// Extends this box to cover `other`.
   void Expand(const Mbb& other);
 
+  /// True iff `v` lies inside the box (closed, exact comparisons — every
+  /// box in this tree is the exact hull of the points it was expanded to).
+  bool Contains(const Vec& v) const;
+
   static Mbb Empty(int dim);
 };
 
@@ -49,16 +53,47 @@ class RTree {
   /// STR bulk load over the dataset. Records keep their ids.
   static RTree BulkLoad(const Dataset& data);
 
+  /// Inserts record `data[id]` (classic dynamic insert: least-enlargement
+  /// descent, deterministic widest-axis split on overflow, root growth on a
+  /// root split). `data` must already hold the record at index `id`. The
+  /// live-update subsystem (src/live/) uses this; bulk construction stays
+  /// STR.
+  void Insert(const Dataset& data, int32_t id);
+
+  /// Removes record `id`, tightening MBBs and dropping emptied nodes along
+  /// the way (an internal root with a single child collapses, so the tree
+  /// never degenerates into a unary chain; erasing the last record resets
+  /// the tree to the empty state). Underfull nodes are otherwise allowed —
+  /// query correctness never depends on fill factors, and the live engine's
+  /// rebuild fallback restores packing quality on long update runs. `data`
+  /// must still hold the record (its attributes guide the descent). Returns
+  /// false when `id` is not in the tree.
+  bool Erase(const Dataset& data, int32_t id);
+
   bool empty() const { return nodes_.empty(); }
   int32_t root() const { return root_; }
   const RTreeNode& node(int32_t id) const { return nodes_[id]; }
   int height() const { return height_; }
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  /// Number of records currently indexed.
+  int64_t num_records() const { return num_records_; }
 
  private:
+  /// Takes a node slot from the free list (or grows the vector).
+  int32_t Alloc(RTreeNode node);
+  /// Splits overflowing `node_id` along its widest axis; returns the new
+  /// sibling holding the upper half. Both MBBs are recomputed exactly.
+  int32_t Split(const Dataset& data, int32_t node_id);
+  /// Recomputes `node_id`'s MBB exactly from its children / records.
+  void RecomputeMbb(const Dataset& data, int32_t node_id);
+  /// Root-to-leaf path to the leaf holding `id`, or empty when absent.
+  std::vector<int32_t> FindLeaf(const Dataset& data, int32_t id) const;
+
   std::vector<RTreeNode> nodes_;
+  std::vector<int32_t> free_;  ///< node slots released by Erase
   int32_t root_ = -1;
   int height_ = 0;
+  int64_t num_records_ = 0;
 };
 
 }  // namespace utk

@@ -1,0 +1,356 @@
+#include "live/live_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/jaa.h"
+#include "core/rsa.h"
+#include "core/topk.h"
+#include "skyline/rskyband.h"
+
+namespace utk {
+namespace {
+
+QueryResult Fail(const QuerySpec& spec, std::string why) {
+  QueryResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  r.mode = spec.mode;
+  r.algorithm = spec.algorithm;
+  return r;
+}
+
+/// Reduced coefficients of f(w) = S(q)(w) - S(t)(w) (see rdominance.cc).
+void DiffScore(const Vec& q, const Vec& t, Vec* coef, Scalar* offset) {
+  const int d = static_cast<int>(q.size());
+  coef->resize(d - 1);
+  *offset = q[d - 1] - t[d - 1];
+  for (int i = 0; i < d - 1; ++i)
+    (*coef)[i] = (q[i] - q[d - 1]) - (t[i] - t[d - 1]);
+}
+
+/// Remaps sorted ascending ids through the monotonic compact -> live map;
+/// monotonicity keeps the output sorted.
+void MapIds(const std::vector<int32_t>& live_ids, std::vector<int32_t>* ids) {
+  for (int32_t& id : *ids) id = live_ids[id];
+}
+
+}  // namespace
+
+LiveEngine::LiveEngine(Dataset data, LiveConfig config)
+    : config_(config),
+      data_(std::move(data)),
+      alive_(data_.size(), 1),
+      tree_(RTree::BulkLoad(data_)),
+      band_(std::max(config.band_k, 1), config.band_slack) {
+  live_.store(static_cast<int64_t>(data_.size()), std::memory_order_relaxed);
+  band_.Rebuild(data_, tree_);
+}
+
+LiveEngine::~LiveEngine() = default;
+
+// --------------------------------------------------------------- planning
+
+Algorithm LiveEngine::PlanLocked(const QuerySpec& spec) const {
+  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
+  // Plan against the number of LIVE records, so a live engine and a
+  // from-scratch Engine over the compacted catalog choose identically.
+  return ChooseAlgorithm(spec.mode, live_size(), pref_dim());
+}
+
+Algorithm LiveEngine::Plan(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return PlanLocked(spec);
+}
+
+std::optional<std::string> LiveEngine::ValidateLocked(
+    const QuerySpec& spec) const {
+  // Mirrors Engine::Validate verbatim so the serving layer surfaces
+  // identical diagnostics whichever engine backs it.
+  if (live_size() == 0) return "engine holds an empty dataset";
+  if (spec.k < 1) return "k must be >= 1";
+  if (spec.region.dim() != pref_dim())
+    return "region has " + std::to_string(spec.region.dim()) +
+           " preference dims, dataset needs " + std::to_string(pref_dim());
+  if (!spec.region.HasInteriorPoint())
+    return "query region has empty interior";
+  const Algorithm algo = PlanLocked(spec);
+  if (spec.mode == QueryMode::kUtk2 &&
+      (algo == Algorithm::kRsa || algo == Algorithm::kNaive))
+    return std::string(AlgorithmName(algo)) +
+           " answers UTK1 only; use JAA or a baseline for UTK2";
+  return std::nullopt;
+}
+
+std::optional<std::string> LiveEngine::Validate(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ValidateLocked(spec);
+}
+
+// ---------------------------------------------------------------- queries
+
+QueryResult LiveEngine::RunBandPipeline(const QuerySpec& spec,
+                                        Algorithm algo) const {
+  Timer timer;
+  QueryResult r;
+  r.mode = spec.mode;
+  r.algorithm = algo;
+
+  QueryStats filter_stats;
+  RSkybandResult band;
+  if (spec.k <= band_.k()) {
+    // The maintained band is a superset of the r-skyband for every region
+    // and every k <= band_k (live_band.h), so refiltering it within itself
+    // is exactly the partitioned engine's pool argument.
+    band = ComputeRSkybandFromPool(data_, band_.BandIds(), spec.region,
+                                   spec.k, &filter_stats);
+    pool_queries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    band = ComputeRSkyband(data_, tree_, spec.region, spec.k, &filter_stats);
+    direct_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (algo == Algorithm::kRsa) {
+    Rsa::Options opt;
+    opt.use_drill = spec.use_drill;
+    opt.use_lemma1 = spec.use_lemma1;
+    opt.wave_cap = spec.wave_cap;
+    Utk1Result res = Rsa(opt).RunFiltered(data_, band, spec.region, spec.k);
+    r.ids = std::move(res.ids);
+    r.stats = res.stats;
+  } else {
+    Jaa::Options opt;
+    opt.use_lemma1 = spec.use_lemma1;
+    opt.wave_cap = spec.wave_cap;
+    r.utk2 = Jaa(opt).RunFiltered(data_, band, spec.region, spec.k);
+    r.ids = r.utk2.AllRecords();
+    r.stats = r.utk2.stats;
+  }
+  const int64_t candidates = r.stats.candidates;
+  r.stats += filter_stats;
+  r.stats.candidates = candidates;  // refinement input, as Engine reports
+  r.stats.elapsed_ms = timer.ElapsedMs();
+  r.ok = true;
+  return r;
+}
+
+QueryResult LiveEngine::RunViaCompact(const QuerySpec& spec) const {
+  fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const Engine> compact = EnsureCompact();
+  std::vector<int32_t> live_ids;
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    live_ids = compact_ids_;
+  }
+  QueryResult r = compact->Run(spec);
+  if (!r.ok) return r;
+  // Map every compact id back to its live id. The map is strictly
+  // increasing, so sorted id lists, per-cell top-k sets, and the canonical
+  // cell order (lexicographic in topk) all survive the translation.
+  MapIds(live_ids, &r.ids);
+  for (Utk2Cell& cell : r.utk2.cells) MapIds(live_ids, &cell.topk);
+  for (auto& rec : r.per_record.records) rec.id = live_ids[rec.id];
+  return r;
+}
+
+QueryResult LiveEngine::Run(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (std::optional<std::string> error = ValidateLocked(spec))
+    return Fail(spec, std::move(*error));
+  const Algorithm algo = PlanLocked(spec);
+  QueryResult r = (algo == Algorithm::kRsa || algo == Algorithm::kJaa)
+                      ? RunBandPipeline(spec, algo)
+                      : RunViaCompact(spec);
+  r.stats.epoch = static_cast<int64_t>(epoch());
+  return r;
+}
+
+std::vector<int32_t> LiveEngine::TopK(const Vec& w, int k) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TopKRTree(data_, tree_, w, k);
+}
+
+bool LiveEngine::IsLive(int32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return id >= 0 && id < static_cast<int32_t>(alive_.size()) &&
+         alive_[id] != 0;
+}
+
+Dataset LiveEngine::CompactSnapshotLocked(
+    std::vector<int32_t>* live_ids) const {
+  Dataset compact;
+  compact.reserve(static_cast<size_t>(live_.load(std::memory_order_relaxed)));
+  if (live_ids != nullptr) live_ids->clear();
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (!alive_[i]) continue;
+    Record r = data_[i];
+    r.id = static_cast<int32_t>(compact.size());
+    compact.push_back(std::move(r));
+    if (live_ids != nullptr)
+      live_ids->push_back(static_cast<int32_t>(i));
+  }
+  return compact;
+}
+
+Dataset LiveEngine::CompactSnapshot(std::vector<int32_t>* live_ids) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CompactSnapshotLocked(live_ids);
+}
+
+std::shared_ptr<const Engine> LiveEngine::EnsureCompact() const {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  const uint64_t now = epoch();
+  if (compact_ == nullptr || compact_epoch_ != now) {
+    std::vector<int32_t> live_ids;
+    Dataset compact = CompactSnapshotLocked(&live_ids);
+    compact_ = std::make_shared<const Engine>(std::move(compact));
+    compact_ids_ = std::move(live_ids);
+    compact_epoch_ = now;
+  }
+  return compact_;
+}
+
+// ---------------------------------------------------------------- updates
+
+int32_t LiveEngine::InsertLocked(Record rec, UpdateEvent* event) {
+  const int32_t n = static_cast<int32_t>(data_.size());
+  if (rec.id > n) return -1;  // ids are assigned densely, no gaps
+  if (!data_.empty() && rec.Dim() != dim()) return -1;
+  int32_t id = rec.id;
+  if (id == n || id < 0) {
+    id = n;
+    rec.id = id;
+    data_.push_back(std::move(rec));
+    alive_.push_back(1);
+  } else {
+    if (alive_[id]) return -1;  // live ids are never overwritten
+    rec.id = id;
+    data_[id] = std::move(rec);
+    alive_[id] = 1;
+  }
+  tree_.Insert(data_, id);
+  band_.Insert(data_, tree_, id);
+  live_.fetch_add(1, std::memory_order_release);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  event->inserted.push_back(data_[id]);
+  return id;
+}
+
+bool LiveEngine::EraseLocked(int32_t id, UpdateEvent* event) {
+  if (id < 0 || id >= static_cast<int32_t>(alive_.size()) || !alive_[id])
+    return false;
+  // Band first (it reads the record against the pre-delete tracked set),
+  // then the tree; the tombstone keeps the attributes so invalidation
+  // predicates and revivals can still read them.
+  const bool incremental = band_.Erase(data_, id);
+  tree_.Erase(data_, id);
+  alive_[id] = 0;
+  if (!incremental) band_.Rebuild(data_, tree_);  // deletion budget spent
+  live_.fetch_sub(1, std::memory_order_release);
+  erases_.fetch_add(1, std::memory_order_relaxed);
+  event->erased.push_back(id);
+  return true;
+}
+
+int32_t LiveEngine::Insert(Record rec) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  UpdateEvent event;
+  const int32_t id = InsertLocked(std::move(rec), &event);
+  if (id >= 0) Commit(event);
+  return id;
+}
+
+bool LiveEngine::Erase(int32_t id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  UpdateEvent event;
+  const bool ok = EraseLocked(id, &event);
+  if (ok) Commit(event);
+  return ok;
+}
+
+int LiveEngine::ApplyBatch(std::span<const UpdateOp> ops) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  UpdateEvent event;
+  int applied = 0;
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateKind::kInsert) {
+      if (InsertLocked(op.record, &event) >= 0) ++applied;
+    } else {
+      if (EraseLocked(op.id, &event)) ++applied;
+    }
+  }
+  if (applied > 0) Commit(event);
+  return applied;
+}
+
+// ---------------------------------------------------------------- serving
+
+void LiveEngine::AttachCache(ResultCache* cache) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  if (std::find(caches_.begin(), caches_.end(), cache) == caches_.end())
+    caches_.push_back(cache);
+}
+
+void LiveEngine::DetachCache(ResultCache* cache) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  caches_.erase(std::remove(caches_.begin(), caches_.end(), cache),
+                caches_.end());
+}
+
+bool LiveEngine::CouldAffect(const UpdateEvent& event,
+                             const CacheEntryView& view) const {
+  // An empty UTK1 answer should never have been cached; drop defensively.
+  if (view.result.ids.empty()) return true;
+  // Erase: removing a record changes some top-k over R iff it was IN some
+  // top-k over R — exactly membership in the cached UTK1 id set.
+  for (int32_t id : event.erased) {
+    if (std::binary_search(view.result.ids.begin(), view.result.ids.end(),
+                           id))
+      return true;
+  }
+  // Insert: if the new record is outscored by every cached answer member
+  // everywhere in R, it cannot displace any top-k (the old top-k at each w
+  // in R is a subset of the cached ids), so the entry stands. Otherwise be
+  // conservative. One affine range per (record, cached id) — closed form
+  // for box regions.
+  Vec coef;
+  Scalar offset;
+  for (const Record& q : event.inserted) {
+    for (int32_t t : view.result.ids) {
+      DiffScore(q.attrs, data_[t].attrs, &coef, &offset);
+      auto range = view.region.RangeOf(coef, offset);
+      if (!range.has_value() || range->second >= -kEps) return true;
+    }
+  }
+  return false;
+}
+
+void LiveEngine::Commit(const UpdateEvent& event) {
+  const uint64_t from = epoch_.load(std::memory_order_relaxed);
+  const uint64_t to = from + 1;
+  epoch_.store(to, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  for (ResultCache* cache : caches_) {
+    cache->ApplyInvalidation(from, to, [&](const CacheEntryView& view) {
+      return CouldAffect(event, view);
+    });
+  }
+}
+
+LiveCounters LiveEngine::counters() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  LiveCounters c;
+  c.epoch = epoch();
+  c.live = live_size();
+  c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.erases = erases_.load(std::memory_order_relaxed);
+  c.band = band_.band_size();
+  c.band_rebuilds = band_.rebuilds();
+  c.pool_queries = pool_queries_.load(std::memory_order_relaxed);
+  c.direct_queries = direct_queries_.load(std::memory_order_relaxed);
+  c.fallback_queries = fallback_queries_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace utk

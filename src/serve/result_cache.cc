@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <string_view>
 
 #include "geometry/linear.h"
 
@@ -26,6 +27,18 @@ void AppendInt32(std::string* out, int32_t v) {
   char buf[sizeof(v)];
   std::memcpy(buf, &v, sizeof(v));
   out->append(buf, sizeof(v));
+}
+
+void AppendUint64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+/// Swaps the trailing 8-byte epoch suffix of a fingerprint.
+void RekeyEpoch(std::string* key, uint64_t epoch) {
+  key->resize(key->size() - sizeof(uint64_t));
+  AppendUint64(key, epoch);
 }
 
 int64_t BytesOfVec(const Vec& v) {
@@ -53,7 +66,8 @@ double CacheCounters::HitRate() const {
          static_cast<double>(total);
 }
 
-std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned) {
+std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned,
+                                 uint64_t epoch) {
   std::string key;
   key.reserve(64);
   key.push_back(spec.mode == QueryMode::kUtk1 ? '1' : '2');
@@ -64,6 +78,7 @@ std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned) {
     key.push_back('B');
     for (Scalar v : spec.region.box_lo()) AppendScalar(&key, v);
     for (Scalar v : spec.region.box_hi()) AppendScalar(&key, v);
+    AppendUint64(&key, epoch);
     return key;
   }
   key.push_back('H');
@@ -85,6 +100,7 @@ std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned) {
   }
   std::sort(parts.begin(), parts.end());
   for (const std::string& part : parts) key += part;
+  AppendUint64(&key, epoch);
   return key;
 }
 
@@ -118,11 +134,15 @@ ResultCache::ResultCache(CacheConfig config) : config_(config) {
 }
 
 ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  // Hash everything but the trailing epoch, so a re-tagged entry stays in
+  // the shard its future lookups will probe.
+  const std::string_view base(key.data(), key.size() - sizeof(uint64_t));
+  return *shards_[std::hash<std::string_view>{}(base) % shards_.size()];
 }
 
 bool ResultCache::CanServe(const Entry& entry, const QuerySpec& spec,
-                           Algorithm planned) {
+                           Algorithm planned, uint64_t epoch) {
+  if (entry.epoch != epoch) return false;
   if (entry.k != spec.k) return false;
   if (spec.mode == QueryMode::kUtk2) {
     // A UTK2 answer's shape (common arrangement vs per-record cells) must
@@ -140,7 +160,7 @@ bool ResultCache::CanServe(const Entry& entry, const QuerySpec& spec,
 }
 
 bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
-                            CacheLookup* out) {
+                            uint64_t epoch, CacheLookup* out) {
   // One sweep, testing containment on each entry at most once. A donor with
   // cell geometry wins immediately (cells restrict cheaply — a feasibility
   // test per cell); the first admissible id-only donor is only *remembered*
@@ -152,7 +172,7 @@ bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
       if (fallback_shard != nullptr && !it->HasCells()) continue;
-      if (!CanServe(*it, spec, planned)) continue;
+      if (!CanServe(*it, spec, planned, epoch)) continue;
       if (it->HasCells()) {
         out->outcome = CacheOutcome::kSemanticHit;
         out->result = it->result;
@@ -181,9 +201,10 @@ bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
   return true;
 }
 
-CacheLookup ResultCache::Lookup(const QuerySpec& spec, Algorithm planned) {
+CacheLookup ResultCache::Lookup(const QuerySpec& spec, Algorithm planned,
+                                uint64_t epoch) {
   CacheLookup out;
-  const std::string key = CanonicalFingerprint(spec, planned);
+  const std::string key = CanonicalFingerprint(spec, planned, epoch);
   {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -196,7 +217,7 @@ CacheLookup ResultCache::Lookup(const QuerySpec& spec, Algorithm planned) {
       return out;
     }
   }
-  if (config_.semantic_reuse && FindDonor(spec, planned, &out)) {
+  if (config_.semantic_reuse && FindDonor(spec, planned, epoch, &out)) {
     // Counted by ResolveSemantic once the caller's restriction succeeds.
     return out;
   }
@@ -213,12 +234,18 @@ void ResultCache::ResolveSemantic(bool served) {
 }
 
 int64_t ResultCache::Admit(const QuerySpec& spec, Algorithm planned,
-                           const QueryResult& result) {
+                           const QueryResult& result, uint64_t epoch) {
   if (!result.ok) return 0;
+  if (epoch < latest_epoch_.load(std::memory_order_acquire)) {
+    // Computed against a dataset an invalidation sweep has superseded.
+    stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   Entry entry;
-  entry.key = CanonicalFingerprint(spec, planned);
+  entry.key = CanonicalFingerprint(spec, planned, epoch);
   entry.mode = spec.mode;
   entry.k = spec.k;
+  entry.epoch = epoch;
   entry.region = spec.region;
   entry.result = result;
   entry.bytes = EstimateResultBytes(result);
@@ -253,6 +280,54 @@ int64_t ResultCache::Admit(const QuerySpec& spec, Algorithm planned,
   return evicted;
 }
 
+int64_t ResultCache::ApplyInvalidation(uint64_t from_epoch, uint64_t to_epoch,
+                                       const InvalidationPredicate& affected) {
+  // Raise the stale-admit floor first: a query that read the pre-update
+  // epoch but finishes after this sweep must not plant its stale answer.
+  uint64_t prev = latest_epoch_.load(std::memory_order_relaxed);
+  while (prev < to_epoch && !latest_epoch_.compare_exchange_weak(
+                                prev, to_epoch, std::memory_order_acq_rel)) {
+  }
+  int64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->epoch == to_epoch) {  // already answers the new dataset
+        ++it;
+        continue;
+      }
+      bool drop = it->epoch != from_epoch;  // missed a sweep: unauditable
+      if (!drop)
+        drop = affected(CacheEntryView{it->mode, it->k, it->region,
+                                       it->result});
+      if (!drop) {
+        // Proven unaffected: re-tag to the new epoch in place.
+        shard->index.erase(it->key);
+        RekeyEpoch(&it->key, to_epoch);
+        it->epoch = to_epoch;
+        // A fresh post-update entry for the same spec wins the key; this
+        // one is then unlinked WITHOUT touching the index — the rekeyed
+        // key belongs to the fresh entry now.
+        if (shard->index.emplace(it->key, it).second) {
+          ++it;
+          continue;
+        }
+        shard->bytes -= it->bytes;
+        it = shard->lru.erase(it);
+        ++dropped;
+        continue;
+      }
+      shard->bytes -= it->bytes;
+      shard->index.erase(it->key);
+      it = shard->lru.erase(it);
+      ++dropped;
+    }
+  }
+  invalidation_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  if (dropped > 0) invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 CacheCounters ResultCache::Counters() const {
   CacheCounters c;
   c.exact_hits = exact_hits_.load(std::memory_order_relaxed);
@@ -260,6 +335,10 @@ CacheCounters ResultCache::Counters() const {
   c.misses = misses_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
   c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.invalidation_sweeps =
+      invalidation_sweeps_.load(std::memory_order_relaxed);
+  c.invalidated = invalidated_.load(std::memory_order_relaxed);
+  c.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     c.entries += static_cast<int64_t>(shard->lru.size());

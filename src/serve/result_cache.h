@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,10 @@ struct CacheCounters {
   int64_t inserts = 0;        ///< successful Admit calls
   int64_t entries = 0;        ///< entries currently resident
   int64_t bytes = 0;          ///< estimated bytes currently resident
+  // Live-update accounting (src/live/): see ApplyInvalidation.
+  int64_t invalidation_sweeps = 0;  ///< epoch-advance sweeps applied
+  int64_t invalidated = 0;          ///< entries dropped by sweeps
+  int64_t stale_rejects = 0;        ///< admits refused for a superseded epoch
 
   int64_t Requests() const { return exact_hits + semantic_hits + misses; }
   /// Fraction of requests served from the cache (exact + semantic).
@@ -67,12 +72,16 @@ struct CacheCounters {
 };
 
 /// Canonical fingerprint of a spec's semantic identity: mode, k, the planned
-/// (kAuto-resolved) algorithm, and the region in canonical form — box corners
+/// (kAuto-resolved) algorithm, the region in canonical form — box corners
 /// for boxes, otherwise the constraint list normalized to unit normals and
-/// byte-sorted so constraint order never matters. Execution knobs
-/// (use_drill/use_lemma1/wave_cap) are excluded: they change the work, never
-/// the answer.
-std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned);
+/// byte-sorted so constraint order never matters — and, last, the dataset
+/// `epoch` the answer is computed against (QueryEngine::epoch(); always 0
+/// for immutable engines). Execution knobs (use_drill/use_lemma1/wave_cap)
+/// are excluded: they change the work, never the answer. The epoch is the
+/// trailing 8 bytes of every key, so an answer from a superseded dataset
+/// version can never satisfy a lookup at the current one.
+std::string CanonicalFingerprint(const QuerySpec& spec, Algorithm planned,
+                                 uint64_t epoch = 0);
 
 /// Estimated resident size of a cached result, for the byte budget.
 int64_t EstimateResultBytes(const QueryResult& r);
@@ -92,17 +101,33 @@ struct CacheLookup {
   QueryMode mode = QueryMode::kUtk1;
 };
 
+/// Read-only view of a cached entry handed to invalidation predicates.
+struct CacheEntryView {
+  QueryMode mode;
+  int k;
+  const ConvexRegion& region;    ///< region the cached answer covers
+  const QueryResult& result;     ///< the cached answer itself
+};
+
+/// Decides whether an update batch *could* change a cached answer. Must be
+/// conservative: returning true for an unaffected entry only costs a cache
+/// miss; returning false for an affected one would serve a stale answer.
+using InvalidationPredicate = std::function<bool(const CacheEntryView&)>;
+
 class ResultCache {
  public:
   explicit ResultCache(CacheConfig config = {});
 
   /// Classifies `spec` against the cache. `planned` must be the engine's
   /// Plan(spec) so kAuto specs fingerprint identically to their resolved
-  /// form. Thread-safe; updates recency and the exact-hit/miss counters.
-  /// A kSemanticHit outcome is NOT counted yet — the caller must report
-  /// whether the donor's restriction actually served the query via
-  /// ResolveSemantic, so degenerate restrictions count as misses.
-  CacheLookup Lookup(const QuerySpec& spec, Algorithm planned);
+  /// form, and `epoch` the engine's epoch() read before running (0 for
+  /// immutable engines). Thread-safe; updates recency and the
+  /// exact-hit/miss counters. A kSemanticHit outcome is NOT counted yet —
+  /// the caller must report whether the donor's restriction actually served
+  /// the query via ResolveSemantic, so degenerate restrictions count as
+  /// misses.
+  CacheLookup Lookup(const QuerySpec& spec, Algorithm planned,
+                     uint64_t epoch = 0);
 
   /// Settles the counter for a kSemanticHit returned by Lookup: a semantic
   /// hit when `served`, a miss when the caller had to fall back to a full
@@ -111,9 +136,28 @@ class ResultCache {
 
   /// Inserts a fresh engine result (replacing any entry with the same
   /// fingerprint) and enforces the budgets. Returns the number of entries
-  /// evicted by this admission. Results that failed (!ok) are not cached.
+  /// evicted by this admission. Results that failed (!ok) are not cached,
+  /// and neither are results whose `epoch` an invalidation sweep has
+  /// already superseded — a query racing a dataset update can never plant a
+  /// stale answer.
   int64_t Admit(const QuerySpec& spec, Algorithm planned,
-                const QueryResult& result);
+                const QueryResult& result, uint64_t epoch = 0);
+
+  /// The epoch-advance contract with a live engine (src/live/): applied
+  /// once per committed update batch, moving the cache from `from_epoch` to
+  /// `to_epoch`. Every resident entry is settled exactly one way:
+  ///   * entries already at `to_epoch` (admitted by queries that observed
+  ///     the new dataset) are kept untouched;
+  ///   * entries at `from_epoch` are tested with `affected` — affected ones
+  ///     are dropped, unaffected ones are *re-tagged* (re-keyed) to
+  ///     `to_epoch`, staying servable with zero recomputation;
+  ///   * entries at any older epoch missed a sweep (the cache was detached)
+  ///     and are dropped unconditionally.
+  /// Returns the number of entries dropped. Also raises the stale-admit
+  /// floor first, so in-flight queries that ran against the old dataset
+  /// cannot admit behind the sweep's back.
+  int64_t ApplyInvalidation(uint64_t from_epoch, uint64_t to_epoch,
+                            const InvalidationPredicate& affected);
 
   CacheCounters Counters() const;
   void Clear();
@@ -121,9 +165,10 @@ class ResultCache {
 
  private:
   struct Entry {
-    std::string key;
+    std::string key;  ///< CanonicalFingerprint; last 8 bytes are the epoch
     QueryMode mode = QueryMode::kUtk1;
     int k = 0;
+    uint64_t epoch = 0;
     ConvexRegion region;
     QueryResult result;
     int64_t bytes = 0;
@@ -141,15 +186,19 @@ class ResultCache {
     int64_t bytes = 0;
   };
 
+  /// Shard choice hashes the key *without* its epoch suffix, so re-tagging
+  /// an entry to a new epoch never moves it across shards.
   Shard& ShardFor(const std::string& key);
-  /// True iff `entry` may answer `spec` by restriction: same k, region
-  /// containment, and UTK2 requests need a donor whose shape (common
-  /// arrangement vs per-record cells) matches the planned algorithm's.
+  /// True iff `entry` may answer `spec` by restriction: current epoch, same
+  /// k, region containment, and UTK2 requests need a donor whose shape
+  /// (common arrangement vs per-record cells) matches the planned
+  /// algorithm's.
   static bool CanServe(const Entry& entry, const QuerySpec& spec,
-                       Algorithm planned);
+                       Algorithm planned, uint64_t epoch);
   /// Scans every shard (MRU-first) for an admissible donor in one pass,
   /// preferring donors with cell geometry over id-only ones.
-  bool FindDonor(const QuerySpec& spec, Algorithm planned, CacheLookup* out);
+  bool FindDonor(const QuerySpec& spec, Algorithm planned, uint64_t epoch,
+                 CacheLookup* out);
 
   CacheConfig config_;
   std::size_t entries_per_shard_ = 0;
@@ -160,6 +209,11 @@ class ResultCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> invalidation_sweeps_{0};
+  std::atomic<int64_t> invalidated_{0};
+  std::atomic<int64_t> stale_rejects_{0};
+  /// Highest to_epoch any sweep has applied; admits below it are stale.
+  std::atomic<uint64_t> latest_epoch_{0};
 };
 
 }  // namespace utk

@@ -60,12 +60,17 @@ QueryResult Server::Query(const QuerySpec& spec) {
   if (engine_->Validate(spec).has_value()) return engine_->Run(spec);
 
   const Algorithm planned = engine_->Plan(spec);
-  CacheLookup lookup = cache_.Lookup(spec, planned);
+  // The dataset epoch is read *before* the query runs: if an update commits
+  // mid-flight, the admit below carries the superseded epoch and the cache
+  // refuses it — a racing query can never plant a stale answer.
+  const uint64_t epoch = engine_->epoch();
+  CacheLookup lookup = cache_.Lookup(spec, planned, epoch);
   if (lookup.outcome == CacheOutcome::kExactHit) {
     QueryResult r = std::move(lookup.result);
     // The stats describe *this* serving, not the donor's original run.
     r.stats = QueryStats{};
     r.stats.cache_hits = 1;
+    r.stats.epoch = static_cast<int64_t>(epoch);
     r.stats.elapsed_ms = timer.ElapsedMs();
     return r;
   }
@@ -74,22 +79,24 @@ QueryResult Server::Query(const QuerySpec& spec) {
     cache_.ResolveSemantic(r.ok);
     if (r.ok) {
       r.stats.cache_semantic_hits = 1;
+      r.stats.epoch = static_cast<int64_t>(epoch);
       // The restriction IS the Engine::Run answer for this spec (DESIGN.md
       // §7), so admit it: exact repeats of this sub-region become O(1) hits
       // instead of re-paying the restriction.
-      r.stats.cache_evictions = cache_.Admit(spec, planned, r);
+      r.stats.cache_evictions = cache_.Admit(spec, planned, r, epoch);
       r.stats.elapsed_ms = timer.ElapsedMs();
       return r;
     }
     // Degenerate restriction (the requested region only grazes the donor's
     // cells): fall through to a full run, counted as a miss everywhere.
   }
-  QueryResult r = RunAndAdmit(spec, planned);
+  QueryResult r = RunAndAdmit(spec, planned, epoch);
   r.stats.cache_misses = 1;
   return r;
 }
 
-QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned) {
+QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned,
+                                uint64_t epoch) {
   // A decomposing engine (dist/partitioned_engine.h) reports each completed
   // region tile — a full answer for its sub-region — and every tile is
   // admitted as a containment donor. The sink may run on the engine's
@@ -98,13 +105,13 @@ QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned) {
   std::atomic<int64_t> tile_evictions{0};
   PartialResultSink sink = [&](const QuerySpec& sub, const QueryResult& part) {
     if (part.ok)
-      tile_evictions.fetch_add(cache_.Admit(sub, planned, part),
+      tile_evictions.fetch_add(cache_.Admit(sub, planned, part, epoch),
                                std::memory_order_relaxed);
   };
   QueryResult r = engine_->Run(spec, sink);
   if (r.ok)
     r.stats.cache_evictions = tile_evictions.load(std::memory_order_relaxed) +
-                              cache_.Admit(spec, planned, r);
+                              cache_.Admit(spec, planned, r, epoch);
   return r;
 }
 
@@ -137,6 +144,7 @@ QueryResult Server::ServeFromDonor(const QuerySpec& spec,
         r.utk2.cells.push_back(std::move(out));
       }
       if (r.utk2.cells.empty()) return r;  // !ok: nothing survived clipping
+      r.utk2.Canonicalize();  // clipping visits donor cells in donor order
       r.ids = r.utk2.AllRecords();
     } else {
       // Baseline-shaped donor: clip each record's validity cells.

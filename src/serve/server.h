@@ -79,9 +79,11 @@ class Server {
   QueryResult ServeFromDonor(const QuerySpec& spec,
                              CacheLookup donor) const;
   /// Full engine execution with per-tile donor admission (miss path and
-  /// degenerate-restriction fallback). Admits the full result too; returns
-  /// it with cache_evictions charged.
-  QueryResult RunAndAdmit(const QuerySpec& spec, Algorithm planned);
+  /// degenerate-restriction fallback). Admits the full result too (tagged
+  /// with the epoch observed before running); returns it with
+  /// cache_evictions charged.
+  QueryResult RunAndAdmit(const QuerySpec& spec, Algorithm planned,
+                          uint64_t epoch);
 
   std::shared_ptr<const QueryEngine> engine_;
   ResultCache cache_;

@@ -17,4 +17,10 @@ bool WeaklyDominates(const Vec& a, const Vec& b, Scalar eps) {
   return true;
 }
 
+bool StronglyDominates(const Vec& a, const Vec& b, Scalar margin) {
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] <= b[i] + margin) return false;
+  return true;
+}
+
 }  // namespace utk

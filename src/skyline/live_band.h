@@ -1,0 +1,92 @@
+// LiveSkyband — incrementally maintained r-skyband superset state for the
+// live-update subsystem (src/live/).
+//
+// The state is a bounded dominated-by counter per record: count(p) = the
+// number of live records that *strongly* dominate p (dominance.h,
+// StronglyDominates with margin kEps), tracked exactly while it stays below
+// cap = k + slack and abandoned ("saturated") once it reaches cap. The band
+// is every record with count < k.
+//
+// Why strong dominance: a strong dominator r-dominates with respect to
+// every query region inside the simplex, so a record with >= k strong
+// dominators is outside the r-skyband of *any* (region R', k' <= k) query —
+// the band is a provable superset of every such r-skyband, hence of every
+// top-k set over any region. Queries refine it with the exact machinery the
+// partitioned engine already trusts (ComputeRSkybandFromPool +
+// Rsa/Jaa::RunFiltered), so band answers equal a from-scratch Engine run.
+//
+// Update costs and the saturation invariant:
+//   * Insert(q): one capped dominator count for q over the R-tree, plus one
+//     strong-dominance test per tracked record — O(band) state touched.
+//     Tracked records that reach cap are dropped; untracked records only
+//     gain dominators, so they stay correctly excluded.
+//   * Erase(q): one strong-dominance test per tracked record, decrementing
+//     the records q shielded. Tracked counts stay exact. An *untracked*
+//     record had an exact count >= cap at the moment it saturated (after
+//     the last rebuild), and every deletion since lowers any count by at
+//     most 1 — so while deletes_since_rebuild <= slack, every untracked
+//     record still has >= cap - slack = k dominators and remains correctly
+//     outside the band. The slack+1-th delete would break that bound;
+//     Erase then refuses (returns false) and the caller must Rebuild.
+#ifndef UTK_SKYLINE_LIVE_BAND_H_
+#define UTK_SKYLINE_LIVE_BAND_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "index/rtree.h"
+
+namespace utk {
+
+class LiveSkyband {
+ public:
+  /// Counters track exactly up to cap() = k + slack; slack is the number of
+  /// deletions absorbed between full rebuilds.
+  explicit LiveSkyband(int k, int slack = 16);
+
+  /// Recounts every record indexed by `tree` from scratch and resets the
+  /// deletion budget. Also the initial-construction path.
+  void Rebuild(const Dataset& data, const RTree& tree);
+
+  /// Accounts for record `id`, which must already be in `data` and `tree`.
+  void Insert(const Dataset& data, const RTree& tree, int32_t id);
+
+  /// Accounts for the removal of record `id` (still present in `data`; may
+  /// or may not still be in the tree). Returns false — leaving the state
+  /// unchanged — when the deletion budget is exhausted and the caller must
+  /// Rebuild against the post-delete tree.
+  bool Erase(const Dataset& data, int32_t id);
+
+  /// Record ids with fewer than k strong dominators, sorted ascending.
+  std::vector<int32_t> BandIds() const;
+  /// True iff `id` is currently in the band.
+  bool Contains(int32_t id) const;
+
+  int k() const { return k_; }
+  int cap() const { return cap_; }
+  /// Number of records with tracked (exact, < cap) counters.
+  int64_t tracked() const { return static_cast<int64_t>(count_.size()); }
+  /// Band size without materializing BandIds().
+  int64_t band_size() const;
+  int64_t rebuilds() const { return rebuilds_; }
+  int deletes_since_rebuild() const { return deletes_since_rebuild_; }
+
+ private:
+  int k_;
+  int cap_;
+  int slack_;
+  int deletes_since_rebuild_ = 0;
+  int64_t rebuilds_ = 0;
+  std::unordered_map<int32_t, int> count_;  ///< tracked: id -> exact count
+};
+
+/// Number of records in `tree` strongly dominating `rec`, counted exactly
+/// until `cap` (then returns cap). `rec` itself is skipped when indexed.
+int CountStrongDominators(const Dataset& data, const RTree& tree,
+                          const Record& rec, int cap);
+
+}  // namespace utk
+
+#endif  // UTK_SKYLINE_LIVE_BAND_H_

@@ -1,0 +1,214 @@
+// Differential fuzz harness: every execution path that claims to answer a
+// QuerySpec must agree with every other. For seeded random (dataset,
+// region, k, dim, mode) draws the suite cross-checks
+//
+//   Engine(rsa) == Engine(jaa-union)            (UTK1)
+//   Engine == PartitionedEngine (shards+tiles)  (both modes)
+//   Engine == Server cold (miss) == Server warm (exact hit, byte-equal)
+//   Engine == Server warm on a contained sub-region (semantic hit)
+//   Engine == LiveEngine after replaying the same records as inserts
+//
+// UTK1 answers must be byte-identical. UTK2 answers are compared as the
+// partition they describe — same record union, same distinct top-k set
+// collection, every cell's top-k exact at its witness — because tile seams
+// and donor clipping legitimately change cell geometry. Every UTK2 result
+// must arrive in canonical cell order (core/utk.h Canonicalize): the
+// ordering is asserted here, once, instead of per-test sorts.
+//
+// Seeds: the base seed is fixed (UTK_DIFF_SEED overrides it; UTK_DIFF_DRAWS
+// scales the draw count) and every failure message carries the failing
+// draw's seed for replay.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "dist/partitioned_engine.h"
+#include "live/live_engine.h"
+#include "serve/server.h"
+
+namespace utk {
+namespace {
+
+uint64_t EnvSeed() {
+  const char* v = std::getenv("UTK_DIFF_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20260729ull;
+}
+
+int EnvDraws() {
+  const char* v = std::getenv("UTK_DIFF_DRAWS");
+  return v != nullptr ? std::atoi(v) : 200;
+}
+
+std::set<std::vector<int32_t>> TopkSets(const Utk2Result& r) {
+  std::set<std::vector<int32_t>> sets;
+  for (const Utk2Cell& c : r.cells) sets.insert(c.topk);
+  return sets;
+}
+
+/// UTK2 equivalence as partitions of R: same union, same distinct top-k
+/// sets, witnesses exact — and both in canonical cell order.
+void ExpectSameUtk2(const Engine& ref, int k, const QueryResult& want,
+                    const QueryResult& got) {
+  EXPECT_EQ(got.ids, want.ids);
+  ASSERT_FALSE(got.utk2.cells.empty());
+  EXPECT_TRUE(want.utk2.IsCanonical());
+  EXPECT_TRUE(got.utk2.IsCanonical());
+  EXPECT_EQ(TopkSets(got.utk2), TopkSets(want.utk2));
+  for (const Utk2Cell& cell : got.utk2.cells) {
+    std::vector<int32_t> topk = ref.TopK(cell.witness, k);
+    std::sort(topk.begin(), topk.end());
+    EXPECT_EQ(topk, cell.topk);
+  }
+}
+
+struct Draw {
+  uint64_t seed = 0;
+  Distribution dist = Distribution::kIndependent;
+  int n = 0;
+  int dim = 3;
+  int k = 1;
+  QueryMode mode = QueryMode::kUtk1;
+  ConvexRegion region;
+
+  std::string Describe() const {
+    return "seed=" + std::to_string(seed) + " dist=" + DistributionName(dist) +
+           " n=" + std::to_string(n) + " dim=" + std::to_string(dim) +
+           " k=" + std::to_string(k) + " mode=" + QueryModeName(mode);
+  }
+};
+
+Draw NextDraw(Rng& rng, int index, uint64_t base_seed) {
+  Draw d;
+  d.seed = base_seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+  d.dist = static_cast<Distribution>(rng.UniformInt(0, 2));
+  d.dim = rng.UniformInt(0, 3) == 0 ? 4 : 3;  // mostly 3D, some 4D
+  d.n = rng.UniformInt(50, 110);
+  d.k = rng.UniformInt(1, 4);
+  d.mode = index % 2 == 0 ? QueryMode::kUtk1 : QueryMode::kUtk2;
+  const Scalar sigma = rng.Uniform(0.06, 0.2);
+  d.region = RandomQueryBox(d.dim - 1, sigma, rng);
+  return d;
+}
+
+QuerySpec SpecFor(const Draw& d) {
+  QuerySpec spec;
+  spec.mode = d.mode;
+  spec.algorithm =
+      d.mode == QueryMode::kUtk1 ? Algorithm::kRsa : Algorithm::kJaa;
+  spec.k = d.k;
+  spec.region = d.region;
+  return spec;
+}
+
+TEST(Differential, AllExecutionPathsAgree) {
+  const uint64_t base_seed = EnvSeed();
+  const int draws = EnvDraws();
+  Rng rng(base_seed);
+
+  for (int i = 0; i < draws; ++i) {
+    const Draw d = NextDraw(rng, i, base_seed);
+    SCOPED_TRACE("draw " + std::to_string(i) + ": " + d.Describe());
+
+    Dataset data = Generate(d.dist, d.n, d.dim, d.seed);
+    auto engine = std::make_shared<const Engine>(Dataset(data));
+    const QuerySpec spec = SpecFor(d);
+    QueryResult want = engine->Run(spec);
+    ASSERT_TRUE(want.ok) << want.error;
+    ASSERT_FALSE(want.ids.empty());
+
+    // --- Engine(rsa) vs Engine(jaa union) -----------------------------
+    if (d.mode == QueryMode::kUtk1) {
+      QuerySpec jaa = spec;
+      jaa.algorithm = Algorithm::kJaa;
+      QueryResult via_jaa = engine->Run(jaa);
+      ASSERT_TRUE(via_jaa.ok) << via_jaa.error;
+      EXPECT_EQ(via_jaa.ids, want.ids);
+    } else {
+      EXPECT_TRUE(want.utk2.IsCanonical());
+    }
+
+    // --- PartitionedEngine (sharded + tiled) --------------------------
+    DistConfig dist_config;
+    dist_config.shards = 2 + i % 2;   // 2 or 3
+    dist_config.tiles = 1 + i % 3;    // 1..3
+    dist_config.partitioner =
+        i % 2 == 0 ? Partitioner::kRoundRobin : Partitioner::kSpatial;
+    dist_config.threads = 2;
+    PartitionedEngine dist(engine, dist_config);
+    QueryResult via_dist = dist.Run(spec);
+    ASSERT_TRUE(via_dist.ok) << via_dist.error;
+    if (d.mode == QueryMode::kUtk1) {
+      EXPECT_EQ(via_dist.ids, want.ids);
+    } else {
+      ExpectSameUtk2(*engine, d.k, want, via_dist);
+    }
+
+    // --- Server: cold (miss), warm (exact, byte-equal), semantic ------
+    Server server(engine);
+    QueryResult cold = server.Query(spec);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.stats.cache_misses, 1);
+    EXPECT_EQ(cold.ids, want.ids);
+
+    QueryResult warm = server.Query(spec);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.stats.cache_hits, 1);
+    EXPECT_EQ(warm.ids, cold.ids);
+    if (d.mode == QueryMode::kUtk2) {
+      // Exact hits return the cached result verbatim.
+      ASSERT_EQ(warm.utk2.cells.size(), cold.utk2.cells.size());
+      for (size_t c = 0; c < warm.utk2.cells.size(); ++c) {
+        EXPECT_EQ(warm.utk2.cells[c].topk, cold.utk2.cells[c].topk);
+        EXPECT_EQ(warm.utk2.cells[c].witness, cold.utk2.cells[c].witness);
+      }
+    }
+
+    // A contained sub-box exercises the semantic (containment) path; the
+    // served restriction must equal a fresh engine run on the sub-region.
+    Rng sub_rng(d.seed ^ 0x5bf03635ull);
+    QuerySpec sub = spec;
+    sub.region = RandomSubBox(d.region, 0.6, sub_rng);
+    QueryResult via_cache = server.Query(sub);
+    QueryResult fresh = engine->Run(sub);
+    ASSERT_EQ(via_cache.ok, fresh.ok) << via_cache.error;
+    if (fresh.ok) {
+      EXPECT_EQ(via_cache.ids, fresh.ids);
+      if (d.mode == QueryMode::kUtk2) ExpectSameUtk2(*engine, d.k, fresh,
+                                                     via_cache);
+    }
+
+    // --- LiveEngine: replay the same records as inserts ---------------
+    LiveEngine live((Dataset()));
+    std::vector<UpdateOp> inserts(data.size());
+    for (size_t r = 0; r < data.size(); ++r) {
+      inserts[r].kind = UpdateKind::kInsert;
+      inserts[r].record = data[r];
+      inserts[r].record.id = -1;  // sequential assignment recreates the ids
+    }
+    ASSERT_EQ(live.ApplyBatch(inserts), static_cast<int>(data.size()));
+    QueryResult via_live = live.Run(spec);
+    ASSERT_TRUE(via_live.ok) << via_live.error;
+    if (d.mode == QueryMode::kUtk1) {
+      EXPECT_EQ(via_live.ids, want.ids);
+    } else {
+      ExpectSameUtk2(*engine, d.k, want, via_live);
+    }
+
+    if (HasFailure()) {
+      ADD_FAILURE() << "differential mismatch — replay with UTK_DIFF_SEED="
+                    << base_seed << " (failing draw: " << d.Describe() << ")";
+      return;  // one broken draw is enough signal; keep the log readable
+    }
+  }
+}
+
+}  // namespace
+}  // namespace utk

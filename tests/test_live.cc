@@ -1,0 +1,363 @@
+// The live-update subsystem (src/live/): incremental R-tree maintenance,
+// the bounded-counter band, epoch-versioned answers, and — the load-bearing
+// property — equality with a from-scratch Engine rebuilt on the current
+// catalog after any insert/delete/reinsert sequence, plus soundness of the
+// serve-cache invalidation contract (a warm Server over a LiveEngine always
+// equals a cold one).
+#include "live/live_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/topk.h"
+#include "data/generator.h"
+#include "data/workload.h"
+#include "serve/server.h"
+
+namespace utk {
+namespace {
+
+QuerySpec MakeSpec(QueryMode mode, Algorithm algo, int k,
+                   ConvexRegion region) {
+  QuerySpec spec;
+  spec.mode = mode;
+  spec.algorithm = algo;
+  spec.k = k;
+  spec.region = std::move(region);
+  return spec;
+}
+
+ConvexRegion Region3d() {
+  return ConvexRegion::FromBox({0.2, 0.25}, {0.38, 0.42});
+}
+
+/// live-id translation of a compact-engine answer (monotonic, so sorted
+/// lists stay sorted).
+std::vector<int32_t> Mapped(const std::vector<int32_t>& live_ids,
+                            std::vector<int32_t> ids) {
+  for (int32_t& id : ids) id = live_ids[id];
+  return ids;
+}
+
+/// Asserts the live engine currently answers `spec` exactly like an Engine
+/// built from scratch on the live records.
+void ExpectMatchesRebuild(const LiveEngine& live, const QuerySpec& spec) {
+  std::vector<int32_t> live_ids;
+  Engine rebuilt(live.CompactSnapshot(&live_ids));
+  QueryResult want = rebuilt.Run(spec);
+  QueryResult got = live.Run(spec);
+  ASSERT_EQ(want.ok, got.ok) << got.error;
+  if (!want.ok) return;
+  EXPECT_EQ(got.ids, Mapped(live_ids, want.ids));
+  if (spec.mode == QueryMode::kUtk2) {
+    EXPECT_TRUE(got.utk2.IsCanonical());
+    EXPECT_EQ(got.utk2.NumDistinctTopkSets(), want.utk2.NumDistinctTopkSets());
+    for (const Utk2Cell& cell : got.utk2.cells) {
+      std::vector<int32_t> topk = live.TopK(cell.witness, spec.k);
+      std::sort(topk.begin(), topk.end());
+      EXPECT_EQ(topk, cell.topk);
+    }
+  }
+}
+
+TEST(LiveEngine, FreshEngineEqualsImmutableEngine) {
+  Dataset data = Generate(Distribution::kIndependent, 150, 3, 7);
+  Engine fixed(Generate(Distribution::kIndependent, 150, 3, 7));
+  LiveEngine live(std::move(data));
+  EXPECT_EQ(live.epoch(), 0u);
+  EXPECT_EQ(live.live_size(), 150);
+  for (QueryMode mode : {QueryMode::kUtk1, QueryMode::kUtk2}) {
+    Algorithm algo =
+        mode == QueryMode::kUtk1 ? Algorithm::kRsa : Algorithm::kJaa;
+    QuerySpec spec = MakeSpec(mode, algo, 3, Region3d());
+    QueryResult want = fixed.Run(spec);
+    QueryResult got = live.Run(spec);
+    ASSERT_TRUE(got.ok) << got.error;
+    EXPECT_EQ(got.ids, want.ids);
+    EXPECT_EQ(got.stats.epoch, 0);
+  }
+}
+
+TEST(LiveEngine, InsertDeleteReinsertMatchesRebuildEveryEpoch) {
+  Dataset data = Generate(Distribution::kAnticorrelated, 90, 3, 11);
+  LiveEngine live(std::move(data));
+  UpdateTraceOptions opt;
+  opt.seed = 31;
+  opt.dist = Distribution::kAnticorrelated;
+  std::vector<UpdateOp> trace =
+      MakeUpdateTrace(Generate(Distribution::kAnticorrelated, 90, 3, 11), 120,
+                      opt);
+  const QuerySpec utk1 = MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 3,
+                                  Region3d());
+  const QuerySpec utk2 = MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 3,
+                                  Region3d());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const int applied = live.ApplyBatch({&trace[i], 1});
+    ASSERT_EQ(applied, 1) << "op " << i;
+    if (i % 10 != 9) continue;  // full cross-check every 10 ops
+    ExpectMatchesRebuild(live, utk1);
+    ExpectMatchesRebuild(live, utk2);
+  }
+  EXPECT_EQ(live.epoch(), trace.size());
+  LiveCounters c = live.counters();
+  EXPECT_GT(c.erases, 0);
+  EXPECT_GT(c.inserts, 0);
+}
+
+TEST(LiveEngine, FiveHundredOpTraceMatchesRebuild) {
+  // The acceptance criterion: after a random 500-op trace, every query in
+  // the differential suite matches a from-scratch Engine on the final
+  // catalog.
+  Dataset data = Generate(Distribution::kIndependent, 120, 3, 13);
+  LiveEngine live(std::move(data));
+  UpdateTraceOptions opt;
+  opt.seed = 99;
+  std::vector<UpdateOp> trace = MakeUpdateTrace(
+      Generate(Distribution::kIndependent, 120, 3, 13), 500, opt);
+  EXPECT_EQ(live.ApplyBatch(trace), 500);
+  EXPECT_EQ(live.epoch(), 1u);  // one batch = one epoch
+  for (int k : {1, 3, 5}) {
+    ExpectMatchesRebuild(
+        live, MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, k, Region3d()));
+    ExpectMatchesRebuild(
+        live, MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, k, Region3d()));
+  }
+  // k beyond band_k exercises the direct live-tree filter.
+  ExpectMatchesRebuild(live, MakeSpec(QueryMode::kUtk1, Algorithm::kRsa,
+                                      live.config().band_k + 3, Region3d()));
+  LiveCounters c = live.counters();
+  EXPECT_GT(c.pool_queries, 0);
+  EXPECT_GT(c.direct_queries, 0);
+}
+
+TEST(LiveEngine, DeleteOfATopkRecordPromotesShieldedOnes) {
+  Dataset data = Generate(Distribution::kIndependent, 100, 3, 17);
+  LiveEngine live(std::move(data));
+  const QuerySpec spec =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 3, Region3d());
+  QueryResult before = live.Run(spec);
+  ASSERT_TRUE(before.ok) << before.error;
+  ASSERT_FALSE(before.ids.empty());
+  // Erase the pivot's best record — by definition in the UTK1 answer.
+  auto pivot = spec.region.Pivot();
+  ASSERT_TRUE(pivot.has_value());
+  const int32_t best = live.TopK(*pivot, 1).front();
+  ASSERT_TRUE(std::binary_search(before.ids.begin(), before.ids.end(), best));
+  ASSERT_TRUE(live.Erase(best));
+  EXPECT_FALSE(live.IsLive(best));
+  QueryResult after = live.Run(spec);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_FALSE(std::binary_search(after.ids.begin(), after.ids.end(), best));
+  ExpectMatchesRebuild(live, spec);
+}
+
+TEST(LiveEngine, InsertDominatingTheWholeBand) {
+  Dataset data = Generate(Distribution::kIndependent, 80, 3, 19);
+  LiveEngine live(std::move(data));
+  Record top;
+  top.attrs = {0.999, 0.999, 0.999};
+  const int32_t id = live.Insert(top);
+  ASSERT_GE(id, 0);
+  const QuerySpec spec =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 1, Region3d());
+  QueryResult r = live.Run(spec);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ids, (std::vector<int32_t>{id}));  // k=1: it IS the answer
+  ExpectMatchesRebuild(live, spec);
+  ExpectMatchesRebuild(live,
+                       MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 3,
+                                Region3d()));
+}
+
+TEST(LiveEngine, CounterSaturationTriggersRebuildAndStaysExact) {
+  LiveConfig config;
+  config.band_k = 4;
+  config.band_slack = 2;  // rebuild every third deletion
+  Dataset data = Generate(Distribution::kIndependent, 100, 3, 23);
+  LiveEngine live(std::move(data), config);
+  const int64_t rebuilds_before = live.counters().band_rebuilds;
+  UpdateTraceOptions opt;
+  opt.seed = 5;
+  opt.insert_fraction = 0.3;  // deletion-heavy
+  std::vector<UpdateOp> trace = MakeUpdateTrace(
+      Generate(Distribution::kIndependent, 100, 3, 23), 60, opt);
+  for (const UpdateOp& op : trace) live.ApplyBatch({&op, 1});
+  LiveCounters c = live.counters();
+  EXPECT_GT(c.band_rebuilds, rebuilds_before)
+      << "a slack-2 band must rebuild on a deletion-heavy trace";
+  ExpectMatchesRebuild(
+      live, MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 4, Region3d()));
+  ExpectMatchesRebuild(
+      live, MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 4, Region3d()));
+}
+
+TEST(LiveEngine, EraseToEmptyAndRefill) {
+  Dataset data = Generate(Distribution::kIndependent, 12, 3, 29);
+  Dataset copy = data;
+  LiveEngine live(std::move(data));
+  for (int32_t id = 0; id < 12; ++id) ASSERT_TRUE(live.Erase(id));
+  EXPECT_EQ(live.live_size(), 0);
+  QueryResult r = live.Run(
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 2, Region3d()));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "engine holds an empty dataset");
+  // Reinsert everything under the old ids (revival path).
+  for (const Record& rec : copy) EXPECT_EQ(live.Insert(rec), rec.id);
+  EXPECT_EQ(live.live_size(), 12);
+  ExpectMatchesRebuild(
+      live, MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 2, Region3d()));
+}
+
+TEST(LiveEngine, RejectsInvalidInserts) {
+  Dataset data = Generate(Distribution::kIndependent, 10, 3, 31);
+  LiveEngine live(std::move(data));
+  Record bad_dim;
+  bad_dim.attrs = {0.5, 0.5};  // dataset is 3-attribute
+  EXPECT_EQ(live.Insert(bad_dim), -1);
+  Record live_id;
+  live_id.id = 3;  // already live
+  live_id.attrs = {0.5, 0.5, 0.5};
+  EXPECT_EQ(live.Insert(live_id), -1);
+  Record gap;
+  gap.id = 50;  // beyond the dense id range
+  gap.attrs = {0.5, 0.5, 0.5};
+  EXPECT_EQ(live.Insert(gap), -1);
+  EXPECT_FALSE(live.Erase(50));
+  EXPECT_EQ(live.epoch(), 0u);  // nothing committed
+}
+
+TEST(LiveEngine, TopKTracksTheLiveTree) {
+  Dataset data = Generate(Distribution::kCorrelated, 200, 3, 37);
+  LiveEngine live(std::move(data));
+  UpdateTraceOptions opt;
+  opt.seed = 41;
+  std::vector<UpdateOp> trace = MakeUpdateTrace(
+      Generate(Distribution::kCorrelated, 200, 3, 37), 150, opt);
+  live.ApplyBatch(trace);
+  const Vec w = {0.3, 0.4};
+  std::vector<int32_t> live_ids;
+  Dataset snapshot = live.CompactSnapshot(&live_ids);
+  std::vector<int32_t> want = TopK(snapshot, w, 7);
+  for (int32_t& id : want) id = live_ids[id];
+  EXPECT_EQ(live.TopK(w, 7), want);
+}
+
+// ---------------------------------------------------------------- serving
+
+TEST(LiveServe, WarmServerEqualsColdAfterEveryEpoch) {
+  // The invalidation soundness criterion: after any update, a warm Server
+  // answer equals what a cold Server (fresh cache) over the same engine
+  // returns.
+  Dataset data = Generate(Distribution::kIndependent, 110, 3, 43);
+  auto live = std::make_shared<LiveEngine>(std::move(data));
+  Server warm(live);
+  CacheAttachment link(*live, warm.cache());
+
+  UpdateTraceOptions opt;
+  opt.seed = 47;
+  std::vector<UpdateOp> trace = MakeUpdateTrace(
+      Generate(Distribution::kIndependent, 110, 3, 43), 40, opt);
+
+  const QuerySpec utk1 =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 3, Region3d());
+  const QuerySpec utk2 =
+      MakeSpec(QueryMode::kUtk2, Algorithm::kJaa, 3, Region3d());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    live->ApplyBatch({&trace[i], 1});
+    for (const QuerySpec& spec : {utk1, utk2}) {
+      QueryResult warmed = warm.Query(spec);   // may hit a surviving entry
+      Server cold(live);                       // fresh cache: always a miss
+      QueryResult fresh = cold.Query(spec);
+      ASSERT_EQ(warmed.ok, fresh.ok) << warmed.error;
+      if (!warmed.ok) continue;
+      EXPECT_EQ(warmed.ids, fresh.ids) << "stale cache entry served at op "
+                                       << i;
+      if (spec.mode == QueryMode::kUtk2)
+        EXPECT_EQ(warmed.utk2.NumDistinctTopkSets(),
+                  fresh.utk2.NumDistinctTopkSets());
+    }
+  }
+  CacheCounters c = warm.cache_counters();
+  EXPECT_GT(c.invalidation_sweeps, 0);
+  EXPECT_GT(c.invalidated, 0);
+}
+
+TEST(LiveServe, UnaffectedEntriesSurviveAndKeepServing) {
+  Dataset data = Generate(Distribution::kIndependent, 120, 3, 53);
+  auto live = std::make_shared<LiveEngine>(std::move(data));
+  Server server(live);
+  CacheAttachment link(*live, server.cache());
+
+  const QuerySpec spec =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 3, Region3d());
+  QueryResult miss = server.Query(spec);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_EQ(miss.stats.cache_misses, 1);
+
+  // A record below everything cannot affect any top-k: the sweep must
+  // re-tag the entry, which keeps exact-hitting at the new epoch.
+  Record dud;
+  dud.attrs = {1e-4, 1e-4, 1e-4};
+  ASSERT_GE(live->Insert(dud), 0);
+  QueryResult hit = server.Query(spec);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_EQ(hit.stats.cache_hits, 1) << "unaffected entry was invalidated";
+  EXPECT_EQ(hit.ids, miss.ids);
+  EXPECT_EQ(hit.stats.epoch, 1);
+
+  // A record dominating the whole catalog affects every region: the entry
+  // must be dropped and re-answered (with the new record included).
+  Record champion;
+  champion.attrs = {0.999, 0.999, 0.999};
+  const int32_t champ_id = live->Insert(champion);
+  ASSERT_GE(champ_id, 0);
+  QueryResult refreshed = server.Query(spec);
+  ASSERT_TRUE(refreshed.ok) << refreshed.error;
+  EXPECT_EQ(refreshed.stats.cache_misses, 1) << "affected entry survived";
+  EXPECT_TRUE(std::binary_search(refreshed.ids.begin(), refreshed.ids.end(),
+                                 champ_id));
+  CacheCounters c = server.cache_counters();
+  EXPECT_GE(c.invalidated, 1);
+  EXPECT_EQ(c.invalidation_sweeps, 2);
+}
+
+TEST(LiveServe, ErasureInvalidatesExactlyTheAnswersContainingIt) {
+  Dataset data = Generate(Distribution::kIndependent, 130, 3, 59);
+  auto live = std::make_shared<LiveEngine>(std::move(data));
+  Server server(live);
+  CacheAttachment link(*live, server.cache());
+
+  const QuerySpec spec =
+      MakeSpec(QueryMode::kUtk1, Algorithm::kRsa, 3, Region3d());
+  QueryResult first = server.Query(spec);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Erase a record OUTSIDE the answer: the entry survives.
+  int32_t outsider = -1;
+  for (int32_t id = 0; id < 130; ++id) {
+    if (!std::binary_search(first.ids.begin(), first.ids.end(), id)) {
+      outsider = id;
+      break;
+    }
+  }
+  ASSERT_GE(outsider, 0);
+  ASSERT_TRUE(live->Erase(outsider));
+  QueryResult hit = server.Query(spec);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.stats.cache_hits, 1);
+  EXPECT_EQ(hit.ids, first.ids);
+
+  // Erase an answer member: the entry must go.
+  ASSERT_TRUE(live->Erase(first.ids.front()));
+  QueryResult redo = server.Query(spec);
+  ASSERT_TRUE(redo.ok);
+  EXPECT_EQ(redo.stats.cache_misses, 1);
+  EXPECT_FALSE(std::binary_search(redo.ids.begin(), redo.ids.end(),
+                                  first.ids.front()));
+}
+
+}  // namespace
+}  // namespace utk

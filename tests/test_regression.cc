@@ -1,12 +1,25 @@
 // Golden regression tests: fixed seeds, exact expected outputs. These pin
 // down end-to-end determinism (generator -> Engine -> RSA/JAA) so that
 // refactors that change results get caught even when all invariants hold.
+//
+// The NBA case-study golden (tests/golden/nba_case_study.golden) freezes the
+// published-figure outputs of examples/nba_case_study.cpp byte-for-byte.
+// Regenerate deliberately with UTK_UPDATE_GOLDEN=1 after a change that is
+// *supposed* to alter them, and review the diff like any other code change.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "api/engine.h"
 #include "core/naive.h"
 #include "data/generator.h"
 #include "data/realistic.h"
+#include "skyline/onion.h"
+#include "skyline/skyband.h"
 
 namespace utk {
 namespace {
@@ -48,6 +61,78 @@ TEST(Regression, DeterministicAcrossRuns) {
   EXPECT_EQ(a.ids, b.ids);
   EXPECT_EQ(a.stats.lp_calls, b.stats.lp_calls);
   EXPECT_EQ(a.stats.cells_created, b.stats.cells_created);
+}
+
+// The exact computation of examples/nba_case_study.cpp (Figure 9), rendered
+// as a deterministic text block: UTK1 ids and filter sizes for 9(a), the
+// canonical-order cell list for 9(b).
+std::string RenderNbaCaseStudy() {
+  auto project = [](const Dataset& full, std::vector<int> cols) {
+    Dataset out;
+    out.reserve(full.size());
+    for (const Record& r : full) {
+      Record p;
+      p.id = r.id;
+      for (int c : cols) p.attrs.push_back(r.attrs[c]);
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  Dataset league = GenerateNbaLike(500, 2017);
+  std::ostringstream os;
+
+  Engine engine2(project(league, {1, 0}));
+  QuerySpec spec;
+  spec.mode = QueryMode::kUtk1;
+  spec.k = 3;
+  spec.region = ConvexRegion::FromBox({0.64}, {0.74});
+  QueryResult utk1 = engine2.Run(spec);
+  QueryStats tmp;
+  auto onion = OnionCandidates(engine2.data(), engine2.tree(), spec.k, &tmp);
+  auto skyband = KSkyband(engine2.data(), engine2.tree(), spec.k);
+  os << "fig9a utk1:";
+  for (int32_t id : utk1.ids) os << ' ' << id;
+  os << "\nfig9a onion=" << onion.size() << " skyband=" << skyband.size()
+     << "\n";
+
+  Engine engine3(project(league, {1, 0, 2}));
+  spec.mode = QueryMode::kUtk2;
+  spec.region = ConvexRegion::FromBox({0.2, 0.5}, {0.3, 0.6});
+  QueryResult utk2 = engine3.Run(spec);
+  os << "fig9b cells=" << utk2.utk2.cells.size()
+     << " distinct=" << utk2.utk2.NumDistinctTopkSets() << " players:";
+  for (int32_t id : utk2.ids) os << ' ' << id;
+  os << "\n";
+  for (const Utk2Cell& cell : utk2.utk2.cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "cell w=(%.4f,%.4f) topk:",
+                  cell.witness[0], cell.witness[1]);
+    os << buf;
+    for (int32_t id : cell.topk) os << ' ' << id;
+    os << "\n";
+  }
+  return os.str();
+}
+
+TEST(Regression, NbaCaseStudyGolden) {
+  const std::string path =
+      std::string(UTK_SOURCE_DIR) + "/tests/golden/nba_case_study.golden";
+  const std::string rendered = RenderNbaCaseStudy();
+  if (std::getenv("UTK_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run once with UTK_UPDATE_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered, golden.str())
+      << "published-figure output drifted; if intentional, regenerate with "
+         "UTK_UPDATE_GOLDEN=1 and review the diff";
 }
 
 TEST(Regression, FigureOneStatsEnvelope) {

@@ -109,6 +109,62 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Distribution::kIndependent,
                                          Distribution::kAnticorrelated)));
 
+TEST(RTree, IncrementalInsertMatchesBulkContents) {
+  Dataset data = Generate(Distribution::kIndependent, 700, 3, 77);
+  RTree tree;
+  Dataset inserted;
+  for (const Record& r : data) {
+    inserted.push_back(r);
+    tree.Insert(inserted, r.id);
+  }
+  EXPECT_EQ(tree.num_records(), 700);
+  std::set<int32_t> ids;
+  CollectRecords(tree, tree.root(), &ids);
+  EXPECT_EQ(ids.size(), 700u);
+  CheckMbbs(data, tree, tree.root());
+  // Fanout bound holds for every *reachable* node (erase/split leave
+  // free-listed slots behind, so only reachable nodes are inspected).
+  std::vector<int32_t> stack = {tree.root()};
+  while (!stack.empty()) {
+    const RTreeNode& node = tree.node(stack.back());
+    stack.pop_back();
+    if (node.is_leaf) {
+      EXPECT_LE(static_cast<int>(node.record_ids.size()), RTree::kFanout);
+    } else {
+      EXPECT_LE(static_cast<int>(node.entries.size()), RTree::kFanout);
+      for (int32_t c : node.entries) stack.push_back(c);
+    }
+  }
+}
+
+TEST(RTree, EraseRemovesAndTightens) {
+  Dataset data = Generate(Distribution::kAnticorrelated, 400, 3, 78);
+  RTree tree = RTree::BulkLoad(data);
+  // Erase every third record; the rest must stay reachable with valid MBBs.
+  for (int32_t id = 0; id < 400; id += 3) EXPECT_TRUE(tree.Erase(data, id));
+  EXPECT_FALSE(tree.Erase(data, 0));  // already gone
+  std::set<int32_t> ids;
+  CollectRecords(tree, tree.root(), &ids);
+  EXPECT_EQ(static_cast<int64_t>(ids.size()), tree.num_records());
+  for (int32_t id = 0; id < 400; ++id)
+    EXPECT_EQ(ids.count(id), id % 3 == 0 ? 0u : 1u) << id;
+  CheckMbbs(data, tree, tree.root());
+}
+
+TEST(RTree, EraseToEmptyResetsAndReinsertWorks) {
+  Dataset data = Generate(Distribution::kIndependent, 40, 3, 79);
+  RTree tree = RTree::BulkLoad(data);
+  for (int32_t id = 0; id < 40; ++id) ASSERT_TRUE(tree.Erase(data, id));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.num_records(), 0);
+  tree.Insert(data, 7);
+  EXPECT_FALSE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  std::set<int32_t> ids;
+  CollectRecords(tree, tree.root(), &ids);
+  EXPECT_EQ(ids, std::set<int32_t>{7});
+}
+
 TEST(RTree, HeightGrowsLogarithmically) {
   Dataset data = Generate(Distribution::kIndependent, 40000, 3, 5);
   RTree tree = RTree::BulkLoad(data);

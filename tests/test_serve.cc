@@ -517,5 +517,106 @@ TEST(ServeSpeedup, WarmExactHitsBeatColdByTenX) {
       << "cold " << cold_ms << "ms vs warm " << warm_ms << "ms";
 }
 
+// --------------------------------------------------------- epoch contract
+
+TEST(ServeEpoch, FingerprintSeparatesEpochs) {
+  ConvexRegion box = ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35});
+  QuerySpec spec = MakeSpec(QueryMode::kUtk1, 5, box);
+  EXPECT_EQ(CanonicalFingerprint(spec, Algorithm::kRsa, 3),
+            CanonicalFingerprint(spec, Algorithm::kRsa, 3));
+  EXPECT_NE(CanonicalFingerprint(spec, Algorithm::kRsa, 3),
+            CanonicalFingerprint(spec, Algorithm::kRsa, 4));
+  // The 2-arg form is the epoch-0 form immutable engines use.
+  EXPECT_EQ(CanonicalFingerprint(spec, Algorithm::kRsa),
+            CanonicalFingerprint(spec, Algorithm::kRsa, 0));
+}
+
+TEST(ServeEpoch, SweepDropsAffectedRetagsUnaffectedRejectsStale) {
+  Engine engine(Generate(Distribution::kAnticorrelated, 150, 3, 20260728));
+  ResultCache cache;
+  ConvexRegion box_a = ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35});
+  ConvexRegion box_b = ConvexRegion::FromBox({0.5, 0.1}, {0.6, 0.2});
+  QuerySpec spec_a = MakeSpec(QueryMode::kUtk1, 5, box_a);
+  QuerySpec spec_b = MakeSpec(QueryMode::kUtk1, 5, box_b);
+  QueryResult res_a = engine.Run(spec_a);
+  QueryResult res_b = engine.Run(spec_b);
+  ASSERT_TRUE(res_a.ok);
+  ASSERT_TRUE(res_b.ok);
+  cache.Admit(spec_a, Algorithm::kRsa, res_a, /*epoch=*/0);
+  cache.Admit(spec_b, Algorithm::kRsa, res_b, /*epoch=*/0);
+
+  // Epoch 0 -> 1: invalidate exactly the entries covering box_a.
+  const int64_t dropped = cache.ApplyInvalidation(
+      0, 1, [&](const CacheEntryView& view) {
+        return view.region.Contains(*box_a.Pivot());
+      });
+  EXPECT_EQ(dropped, 1);
+
+  // The dropped entry misses at epoch 1; the re-tagged one exact-hits.
+  EXPECT_EQ(cache.Lookup(spec_a, Algorithm::kRsa, 1).outcome,
+            CacheOutcome::kMiss);
+  CacheLookup hit = cache.Lookup(spec_b, Algorithm::kRsa, 1);
+  EXPECT_EQ(hit.outcome, CacheOutcome::kExactHit);
+  EXPECT_EQ(hit.result.ids, res_b.ids);
+  // ...and no longer matches its old epoch (no stale reuse either way).
+  EXPECT_EQ(cache.Lookup(spec_b, Algorithm::kRsa, 0).outcome,
+            CacheOutcome::kMiss);
+
+  // An admit computed against the superseded dataset is refused.
+  EXPECT_EQ(cache.Admit(spec_a, Algorithm::kRsa, res_a, /*epoch=*/0), 0);
+  EXPECT_EQ(cache.Lookup(spec_a, Algorithm::kRsa, 0).outcome,
+            CacheOutcome::kMiss);
+
+  CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.invalidation_sweeps, 1);
+  EXPECT_EQ(c.invalidated, 1);
+  EXPECT_EQ(c.stale_rejects, 1);
+  EXPECT_EQ(c.entries, 1);
+}
+
+TEST(ServeEpoch, RekeyCollisionKeepsTheFreshEntryServable) {
+  // A query that observed the post-update dataset can admit at the new
+  // epoch BEFORE the sweep runs. The sweep then re-keys the surviving old
+  // entry onto the same fingerprint; the fresh entry must win the key and
+  // stay exact-hittable, with the old one dropped cleanly.
+  Engine engine(Generate(Distribution::kAnticorrelated, 150, 3, 20260728));
+  ResultCache cache;
+  QuerySpec spec = MakeSpec(
+      QueryMode::kUtk1, 5, ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35}));
+  QueryResult res = engine.Run(spec);
+  ASSERT_TRUE(res.ok);
+  cache.Admit(spec, Algorithm::kRsa, res, /*epoch=*/0);
+  cache.Admit(spec, Algorithm::kRsa, res, /*epoch=*/1);  // post-update racer
+  const int64_t dropped = cache.ApplyInvalidation(
+      0, 1, [](const CacheEntryView&) { return false; });  // unaffected
+  EXPECT_EQ(dropped, 1);  // the superseded twin, not the fresh entry
+  CacheLookup hit = cache.Lookup(spec, Algorithm::kRsa, 1);
+  EXPECT_EQ(hit.outcome, CacheOutcome::kExactHit);
+  EXPECT_EQ(hit.result.ids, res.ids);
+  EXPECT_EQ(cache.Counters().entries, 1);
+  // Re-admitting and re-hitting keeps working (the index stayed sane).
+  cache.Admit(spec, Algorithm::kRsa, res, /*epoch=*/1);
+  EXPECT_EQ(cache.Lookup(spec, Algorithm::kRsa, 1).outcome,
+            CacheOutcome::kExactHit);
+  EXPECT_EQ(cache.Counters().entries, 1);
+}
+
+TEST(ServeEpoch, EntriesThatMissedASweepAreDropped) {
+  Engine engine(Generate(Distribution::kAnticorrelated, 150, 3, 20260728));
+  ResultCache cache;
+  QuerySpec spec = MakeSpec(
+      QueryMode::kUtk1, 5, ConvexRegion::FromBox({0.2, 0.25}, {0.3, 0.35}));
+  QueryResult res = engine.Run(spec);
+  ASSERT_TRUE(res.ok);
+  cache.Admit(spec, Algorithm::kRsa, res, /*epoch=*/0);
+  // The cache jumps 1 -> 2 without having seen 0 -> 1 (it was detached):
+  // the epoch-0 entry is unauditable and must go even though the predicate
+  // says unaffected.
+  cache.ApplyInvalidation(1, 2, [](const CacheEntryView&) { return false; });
+  EXPECT_EQ(cache.Lookup(spec, Algorithm::kRsa, 2).outcome,
+            CacheOutcome::kMiss);
+  EXPECT_EQ(cache.Counters().entries, 0);
+}
+
 }  // namespace
 }  // namespace utk

@@ -22,10 +22,13 @@ TEST(Stats, AccumulateSumsCountersAndMaxesPeak) {
   a.cache_misses = 1;
   b.cache_semantic_hits = 4;
   b.cache_evictions = 5;
+  a.epoch = 7;
+  b.epoch = 3;
   a += b;
   EXPECT_EQ(a.candidates, 13);
   EXPECT_EQ(a.lp_calls, 12);
   EXPECT_EQ(a.peak_bytes, 250);  // max, not sum
+  EXPECT_EQ(a.epoch, 7);  // a gauge like peak_bytes: the newest epoch wins
   EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
   // The serving-layer counters sum like the execution counters, so
   // RunBatch/QueryBatch totals report trace-wide hit/miss/eviction counts.
@@ -100,6 +103,7 @@ TEST(Stats, CsvRoundTrips) {
   s.cache_semantic_hits = 2;
   s.cache_misses = 9;
   s.cache_evictions = 1;
+  s.epoch = 12;
   s.elapsed_ms = 1.25e-3;
 
   // Header and row have the same arity, and every field survives the trip —
@@ -126,6 +130,7 @@ TEST(Stats, CsvRoundTrips) {
   EXPECT_EQ(parsed->cache_semantic_hits, s.cache_semantic_hits);
   EXPECT_EQ(parsed->cache_misses, s.cache_misses);
   EXPECT_EQ(parsed->cache_evictions, s.cache_evictions);
+  EXPECT_EQ(parsed->epoch, s.epoch);
   EXPECT_DOUBLE_EQ(parsed->elapsed_ms, s.elapsed_ms);
 
   // Default-constructed stats round-trip too (all-zero row).

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "data/generator.h"
+
 namespace utk {
 namespace {
 
@@ -125,6 +130,74 @@ TEST(Workload, LargeSigmaHighDimStillFits) {
   Scalar hi_sum = 0;
   for (int i = 0; i < 6; ++i) hi_sum += r.box_hi()[i];
   EXPECT_LE(hi_sum, 1.0 + 1e-9);
+}
+
+TEST(Workload, UpdateTraceIsConsistentAndDeterministic) {
+  Dataset initial = Generate(Distribution::kIndependent, 30, 3, 3);
+  UpdateTraceOptions opt;
+  opt.seed = 9;
+  std::vector<UpdateOp> a = MakeUpdateTrace(initial, 200, opt);
+  std::vector<UpdateOp> b = MakeUpdateTrace(initial, 200, opt);
+  ASSERT_EQ(a.size(), 200u);
+
+  // Determinism in the seed.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].record.id, b[i].record.id);
+    EXPECT_EQ(a[i].record.attrs, b[i].record.attrs);
+  }
+
+  // Replay the liveness the generator promises: erases always target a
+  // live id, reinserts revive a dead id verbatim, fresh inserts are
+  // assigned sequentially from initial.size().
+  std::set<int32_t> live;
+  for (const Record& r : initial) live.insert(r.id);
+  int32_t next_id = static_cast<int32_t>(initial.size());
+  int fresh = 0, revivals = 0, erases = 0;
+  for (const UpdateOp& op : a) {
+    if (op.kind == UpdateKind::kInsert) {
+      if (op.record.id < 0) {
+        EXPECT_EQ(op.record.Dim(), 3);
+        live.insert(next_id++);
+        ++fresh;
+      } else {
+        EXPECT_EQ(live.count(op.record.id), 0u) << "revived a live id";
+        live.insert(op.record.id);
+        ++revivals;
+      }
+    } else {
+      EXPECT_EQ(live.count(op.id), 1u) << "erased a dead id";
+      live.erase(op.id);
+      ++erases;
+    }
+  }
+  EXPECT_GT(fresh, 0);
+  EXPECT_GT(revivals, 0);
+  EXPECT_GT(erases, 0);
+}
+
+TEST(Workload, UpdateTraceInsertFractionZeroDrainsThenInserts) {
+  Dataset initial = Generate(Distribution::kIndependent, 5, 3, 4);
+  UpdateTraceOptions opt;
+  opt.seed = 11;
+  opt.insert_fraction = 0.0;
+  std::vector<UpdateOp> ops = MakeUpdateTrace(initial, 8, opt);
+  // Erases drain the catalog; once empty the generator must fall back to
+  // inserts rather than emit invalid ops, and every erase targets a live
+  // id throughout.
+  ASSERT_EQ(ops.size(), 8u);
+  int live = 5, erases = 0;
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateKind::kErase) {
+      ASSERT_GT(live, 0) << "erase emitted against an empty catalog";
+      --live;
+      ++erases;
+    } else {
+      ++live;
+    }
+  }
+  EXPECT_GE(erases, 5);
 }
 
 }  // namespace
