@@ -8,7 +8,10 @@
 //
 // All knobs ride on QuerySpec; the engine maps them onto the executing
 // algorithm's options.
+//   * data-plane layout       (SoA columnar kernels vs AoS record loops)
 #include "bench_common.h"
+#include "core/topk.h"
+#include "exec/kernels.h"
 #include "skyline/onion.h"
 #include "skyline/rskyband.h"
 #include "skyline/skyband.h"
@@ -87,6 +90,91 @@ BENCHMARK(Ablation_RSA_NoWaveCap)->Unit(benchmark::kMillisecond)
 BENCHMARK(Ablation_RSA_Wave4)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(Ablation_RSA_Wave16)->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// ---------------------------------------------------------------------------
+// Data-plane layout ablation: the same operators through the AoS Record
+// loops versus the SoA ColumnStore kernels (src/exec/), on a 100k-record
+// IND corpus. These pairs are the perf contract of the columnar data
+// plane — tools/check_bench.py gates CI on their speedup ratio.
+// ---------------------------------------------------------------------------
+constexpr int kLayoutN = 100000;
+constexpr int kLayoutK = 5;
+constexpr double kLayoutSigma = 0.1;
+
+const Engine& LayoutData() {
+  return Corpus::Synthetic(Distribution::kIndependent, ScaledN(kLayoutN),
+                           kDim);
+}
+
+// r-skyband filter, AoS path (cols == nullptr: per-record Score() chases
+// the attrs vector, per-pair RDominance allocates a coefficient vector).
+void Ablation_Layout_Filter_AoS(benchmark::State& state) {
+  const Engine& engine = LayoutData();
+  auto queries = Queries(kDim - 1, kLayoutSigma);
+  for (auto _ : state) {
+    double out = 0;
+    for (const ConvexRegion& region : queries)
+      out += static_cast<double>(
+          ComputeRSkyband(engine.data(), engine.tree(), region, kLayoutK)
+              .ids.size());
+    state.counters["band"] = out / queries.size();
+  }
+}
+
+// r-skyband filter, SoA path (batched leaf scoring + allocation-free box
+// gap ranges over the engine's ColumnStore).
+void Ablation_Layout_Filter_SoA(benchmark::State& state) {
+  const Engine& engine = LayoutData();
+  auto queries = Queries(kDim - 1, kLayoutSigma);
+  for (auto _ : state) {
+    double out = 0;
+    for (const ConvexRegion& region : queries)
+      out += static_cast<double>(
+          ComputeRSkyband(engine.data(), engine.tree(), region, kLayoutK,
+                          nullptr, &engine.cols())
+              .ids.size());
+    state.counters["band"] = out / queries.size();
+  }
+}
+
+// Top-k probe, AoS path: full scan with per-record Score().
+void Ablation_Layout_TopKProbe_AoS(benchmark::State& state) {
+  const Engine& engine = LayoutData();
+  auto queries = Queries(kDim - 1, kLayoutSigma);
+  constexpr int kProbeK = 32;
+  for (auto _ : state) {
+    double out = 0;
+    for (const ConvexRegion& region : queries)
+      out += static_cast<double>(
+          TopK(engine.data(), *region.Pivot(), kProbeK).size());
+    state.counters["topk"] = out / queries.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()) *
+                          engine.data().size());
+}
+
+// Top-k probe, SoA path: the fused score + bounded-heap TopKScan kernel.
+void Ablation_Layout_TopKProbe_SoA(benchmark::State& state) {
+  const Engine& engine = LayoutData();
+  auto queries = Queries(kDim - 1, kLayoutSigma);
+  constexpr int kProbeK = 32;
+  for (auto _ : state) {
+    double out = 0;
+    for (const ConvexRegion& region : queries)
+      out += static_cast<double>(
+          TopKScan(engine.cols(), *region.Pivot(), kProbeK).size());
+    state.counters["topk"] = out / queries.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()) *
+                          engine.data().size());
+}
+
+BENCHMARK(Ablation_Layout_Filter_AoS)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Layout_Filter_SoA)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Layout_TopKProbe_AoS)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Layout_TopKProbe_SoA)->Unit(benchmark::kMillisecond);
+
 // Filtering-step tightness: candidates surviving each filter for the same
 // configuration (smaller = less refinement work downstream).
 void Ablation_Filters(benchmark::State& state) {
@@ -147,4 +235,4 @@ BENCHMARK(Ablation_JAA_Wave4)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

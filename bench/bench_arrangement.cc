@@ -94,4 +94,4 @@ BENCHMARK(PointLocation);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -8,9 +8,15 @@
 //   UTK_BENCH_QUERIES  number of random query regions per point (default 3)
 //   UTK_BENCH_THREADS  Engine::RunBatch width (default 1: per-query wall
 //                      clock stays contention-free and comparable)
+//   UTK_BENCH_JSON_DIR when set, every bench binary also writes its full
+//                      google-benchmark report as machine-readable JSON to
+//                      $UTK_BENCH_JSON_DIR/BENCH_<binary>.json (see
+//                      EXPERIMENTS.md for the schema); tools/check_bench.py
+//                      consumes these for the CI perf-regression gate.
 // Every dataset / index is memoized as a utk::Engine across registrations;
 // all algorithm dispatch goes through QuerySpec — no benchmark names an
-// algorithm class.
+// algorithm class. Bench binaries end with UTK_BENCH_MAIN() instead of
+// BENCHMARK_MAIN() so the JSON emission is wired in uniformly.
 #ifndef UTK_BENCH_BENCH_COMMON_H_
 #define UTK_BENCH_BENCH_COMMON_H_
 
@@ -141,7 +147,48 @@ inline std::vector<ConvexRegion> Queries(int pref_dim, double sigma) {
   return QueryBatch(pref_dim, sigma, NumQueries(), 777);
 }
 
+/// Shared main: runs the registered benchmarks and, when UTK_BENCH_JSON_DIR
+/// is set (and the caller did not pass --benchmark_out themselves), also
+/// writes the full report as $UTK_BENCH_JSON_DIR/BENCH_<binary>.json via
+/// google-benchmark's JSON reporter. The BENCH_*.json trail is what gives
+/// the repo a perf trajectory across PRs.
+inline int BenchMain(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    // Exactly --benchmark_out / --benchmark_out=...; --benchmark_out_format
+    // alone must NOT suppress the JSON emission.
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  }
+  const char* dir = std::getenv("UTK_BENCH_JSON_DIR");
+  if (dir != nullptr && !has_out) {
+    std::string name(argv[0]);
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_" + name +
+               ".json";
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int augmented_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&augmented_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(augmented_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace utk
+
+#define UTK_BENCH_MAIN()                                      \
+  int main(int argc, char** argv) {                           \
+    return utk::bench::BenchMain(argc, argv);                 \
+  }
 
 #endif  // UTK_BENCH_BENCH_COMMON_H_

@@ -183,4 +183,4 @@ BENCHMARK(QueryDist)
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

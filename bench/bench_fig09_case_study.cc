@@ -62,4 +62,4 @@ BENCHMARK(Fig09b)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -66,4 +66,4 @@ BENCHMARK(Fig10)
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -62,4 +62,4 @@ UTK_FIG11(Fig11b_ON);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

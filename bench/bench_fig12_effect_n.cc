@@ -64,4 +64,4 @@ UTK_FIG12(Fig12_JAA_ANTI);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -44,4 +44,4 @@ BENCHMARK(Fig13_JAA)
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

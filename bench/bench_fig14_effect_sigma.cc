@@ -47,4 +47,4 @@ BENCHMARK(Fig14_JAA)
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -44,4 +44,4 @@ UTK_FIG15(Fig15_NBA);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

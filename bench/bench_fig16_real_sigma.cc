@@ -40,4 +40,4 @@ UTK_FIG16(Fig16_NBA);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

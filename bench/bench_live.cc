@@ -137,4 +137,4 @@ BENCHMARK(InvalidationSweep)->Arg(16)->Arg(128)
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

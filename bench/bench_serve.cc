@@ -149,4 +149,4 @@ BENCHMARK(MixedTrace)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace bench
 }  // namespace utk
 
-BENCHMARK_MAIN();
+UTK_BENCH_MAIN();

@@ -25,7 +25,7 @@ QueryResult Fail(const QuerySpec& spec, std::string why) {
 }  // namespace
 
 Engine::Engine(Dataset data)
-    : data_(std::move(data)), tree_(RTree::BulkLoad(data_)) {}
+    : data_(std::move(data)), tree_(RTree::BulkLoad(data_)), cols_(data_) {}
 
 std::optional<Engine> Engine::FromCsvFile(const std::string& path) {
   std::optional<Dataset> data = LoadCsvFile(path);
@@ -70,7 +70,7 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
       opt.use_drill = spec.use_drill;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
-      Utk1Result res = Rsa(opt).Run(data_, tree_, spec.region, spec.k);
+      Utk1Result res = Rsa(opt).Run(data_, tree_, spec.region, spec.k, &cols_);
       r.ids = std::move(res.ids);
       r.stats = res.stats;
       break;
@@ -79,7 +79,7 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
       Jaa::Options opt;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
-      r.utk2 = Jaa(opt).Run(data_, tree_, spec.region, spec.k);
+      r.utk2 = Jaa(opt).Run(data_, tree_, spec.region, spec.k, &cols_);
       r.ids = r.utk2.AllRecords();
       r.stats = r.utk2.stats;
       break;
@@ -89,11 +89,11 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
       Baseline b(algo == Algorithm::kBaselineSk ? BaselineFilter::kSkyband
                                                 : BaselineFilter::kOnion);
       if (spec.mode == QueryMode::kUtk1) {
-        Utk1Result res = b.RunUtk1(data_, tree_, spec.region, spec.k);
+        Utk1Result res = b.RunUtk1(data_, tree_, spec.region, spec.k, &cols_);
         r.ids = std::move(res.ids);
         r.stats = res.stats;
       } else {
-        r.per_record = b.RunUtk2(data_, tree_, spec.region, spec.k);
+        r.per_record = b.RunUtk2(data_, tree_, spec.region, spec.k, &cols_);
         r.ids = r.per_record.AllRecords();
         r.stats = r.per_record.stats;
       }
@@ -129,7 +129,7 @@ BatchQueryResult Engine::RunBatch(std::span<const QuerySpec> specs,
 }
 
 std::vector<int32_t> Engine::TopK(const Vec& w, int k) const {
-  return TopKRTree(data_, tree_, w, k);
+  return TopKRTree(data_, tree_, w, k, nullptr, &cols_);
 }
 
 }  // namespace utk

@@ -18,6 +18,7 @@
 #include "api/query.h"
 #include "api/query_engine.h"
 #include "common/types.h"
+#include "exec/column_store.h"
 #include "index/rtree.h"
 
 namespace utk {
@@ -61,6 +62,11 @@ class Engine final : public QueryEngine {
 
   const Dataset& data() const override { return data_; }
   const RTree& tree() const { return tree_; }
+  /// The SoA mirror of data() (exec/column_store.h), built once with the
+  /// R-tree. All hot query paths consume it; it is exposed so co-located
+  /// components (the partitioned engine's single-shard alias, benchmarks,
+  /// differential tests) can share rather than rebuild it.
+  const ColumnStore& cols() const { return cols_; }
 
   /// The algorithm `spec` will execute with: resolves kAuto against this
   /// engine's dataset, leaves explicit choices untouched.
@@ -90,6 +96,7 @@ class Engine final : public QueryEngine {
  private:
   Dataset data_;
   RTree tree_;
+  ColumnStore cols_;
 };
 
 }  // namespace utk

@@ -35,9 +35,9 @@ CellArrangement::CellArrangement(std::vector<Halfspace> base_bounds,
 void CellArrangement::Insert(int hs_id, const Halfspace& hs) {
   if (stats_ != nullptr) ++stats_->halfspaces_inserted;
   const Scalar norm = Norm(hs.a);
-  if (norm <= kEps) {
+  if (EpsLe(norm, 0.0)) {
     // Degenerate half-space: covers everything or nothing.
-    if (hs.b >= -kEps) {
+    if (EpsGe(hs.b, 0.0)) {
       for (Cell& c : cells_)
         if (!c.frozen) {
           c.covering.push_back(hs_id);

@@ -28,6 +28,56 @@ inline constexpr Scalar kEps = 1e-9;
 /// and are dropped (see DESIGN.md, "Numerical policy").
 inline constexpr Scalar kInteriorEps = 1e-7;
 
+/// Pivot / reduced-cost tolerance of the dense simplex solver
+/// (geometry/lp.cc). Strictly tighter than kEps: the solver must keep
+/// resolving differences the geometric predicates above still consider
+/// ties, otherwise LP feasibility and Contains() could disagree on
+/// boundary points.
+inline constexpr Scalar kPivotEps = 1e-10;
+
+// ---------------------------------------------------------------------------
+// Named tolerance predicates. Every eps comparison in the library routes
+// through these so the conventions stay auditable in one place:
+//
+//   * attribute-wise dominance (skyline/dominance.h) and all geometry —
+//     half-space membership, r-dominance classification, region
+//     containment — compare with kEps;
+//   * the simplex solver compares with kPivotEps (see above);
+//   * "exact" comparisons pass eps = 0 explicitly instead of using bare
+//     operators, so intent is visible at the call site.
+//
+// The closed predicates (EpsGe/EpsLe) accept a boundary point; the open
+// ones (EpsGt/EpsLt) require clearing it by more than eps. A point exactly
+// on a halfspace therefore satisfies Contains() under every entry point
+// (Halfspace::Contains, ConvexRegion::Contains, Arrangement::Locate, LP
+// feasibility) — tests/test_epsilon.cc pins that agreement down.
+// ---------------------------------------------------------------------------
+
+/// a >= b, accepting shortfalls up to eps.
+inline constexpr bool EpsGe(Scalar a, Scalar b, Scalar eps = kEps) {
+  return a >= b - eps;
+}
+
+/// a <= b, accepting overshoots up to eps.
+inline constexpr bool EpsLe(Scalar a, Scalar b, Scalar eps = kEps) {
+  return a <= b + eps;
+}
+
+/// a > b by more than eps.
+inline constexpr bool EpsGt(Scalar a, Scalar b, Scalar eps = kEps) {
+  return a > b + eps;
+}
+
+/// a < b by more than eps.
+inline constexpr bool EpsLt(Scalar a, Scalar b, Scalar eps = kEps) {
+  return a < b - eps;
+}
+
+/// |a - b| <= eps.
+inline constexpr bool EpsEq(Scalar a, Scalar b, Scalar eps = kEps) {
+  return a >= b - eps && a <= b + eps;
+}
+
 /// A data record: an id (stable index into the owning dataset) plus its
 /// attribute vector in the data domain.
 struct Record {

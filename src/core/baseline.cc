@@ -23,9 +23,10 @@ std::vector<int32_t> BaselineUtk2Result::AllRecords() const {
 
 std::vector<int32_t> Baseline::FilterCandidates(const Dataset& data,
                                                 const RTree& tree, int k,
-                                                QueryStats* stats) const {
+                                                QueryStats* stats,
+                                                const ColumnStore* cols) const {
   std::vector<int32_t> cands = filter_ == BaselineFilter::kSkyband
-                                   ? KSkyband(data, tree, k, stats)
+                                   ? KSkyband(data, tree, k, stats, cols)
                                    : OnionCandidates(data, tree, k, stats);
   std::sort(cands.begin(), cands.end());
   if (stats != nullptr) stats->candidates = static_cast<int64_t>(cands.size());
@@ -33,10 +34,12 @@ std::vector<int32_t> Baseline::FilterCandidates(const Dataset& data,
 }
 
 Utk1Result Baseline::RunUtk1(const Dataset& data, const RTree& tree,
-                             const ConvexRegion& r, int k) const {
+                             const ConvexRegion& r, int k,
+                             const ColumnStore* cols) const {
   Utk1Result result;
   Timer timer;
-  std::vector<int32_t> cands = FilterCandidates(data, tree, k, &result.stats);
+  std::vector<int32_t> cands =
+      FilterCandidates(data, tree, k, &result.stats, cols);
   for (int32_t p : cands) {
     KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/true,
                          &result.stats);
@@ -48,10 +51,12 @@ Utk1Result Baseline::RunUtk1(const Dataset& data, const RTree& tree,
 }
 
 BaselineUtk2Result Baseline::RunUtk2(const Dataset& data, const RTree& tree,
-                                     const ConvexRegion& r, int k) const {
+                                     const ConvexRegion& r, int k,
+                                     const ColumnStore* cols) const {
   BaselineUtk2Result result;
   Timer timer;
-  std::vector<int32_t> cands = FilterCandidates(data, tree, k, &result.stats);
+  std::vector<int32_t> cands =
+      FilterCandidates(data, tree, k, &result.stats, cols);
   for (int32_t p : cands) {
     KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/false,
                          &result.stats);

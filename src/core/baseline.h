@@ -12,6 +12,7 @@
 
 #include "core/kspr.h"
 #include "core/utk.h"
+#include "exec/column_store.h"
 #include "index/rtree.h"
 
 namespace utk {
@@ -40,18 +41,24 @@ class Baseline {
  public:
   explicit Baseline(BaselineFilter filter) : filter_(filter) {}
 
-  /// UTK1 via filter + early-exit kSPR per candidate.
+  /// UTK1 via filter + early-exit kSPR per candidate. `cols`, when
+  /// non-null, must mirror `data`; the SK filter then probes its skyband
+  /// membership through the batched kernel (skyline/skyband.h).
   Utk1Result RunUtk1(const Dataset& data, const RTree& tree,
-                     const ConvexRegion& r, int k) const;
+                     const ConvexRegion& r, int k,
+                     const ColumnStore* cols = nullptr) const;
 
   /// UTK2 via filter + full kSPR per candidate.
   BaselineUtk2Result RunUtk2(const Dataset& data, const RTree& tree,
-                             const ConvexRegion& r, int k) const;
+                             const ConvexRegion& r, int k,
+                             const ColumnStore* cols = nullptr) const;
 
   /// The filtering step alone (candidate record ids).
   std::vector<int32_t> FilterCandidates(const Dataset& data,
                                         const RTree& tree, int k,
-                                        QueryStats* stats = nullptr) const;
+                                        QueryStats* stats = nullptr,
+                                        const ColumnStore* cols = nullptr)
+      const;
 
  private:
   BaselineFilter filter_;

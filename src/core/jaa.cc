@@ -5,6 +5,7 @@
 
 #include "arrangement/arrangement.h"
 #include "core/drill.h"
+#include "exec/kernels.h"
 #include "geometry/linear.h"
 #include "skyline/graph.h"
 #include "skyline/rskyband.h"
@@ -16,6 +17,8 @@ namespace {
 struct JaaContext {
   const Dataset& data;
   const RSkybandResult& band;
+  const ColumnStore& band_cols;  // gathered SoA mirror: row i = band.ids[i]
+  std::vector<Scalar>* scratch;  // |band| score buffer for batched kernels
   const RDominanceGraph& g;
   const Jaa::Options& options;
   int k;
@@ -99,12 +102,12 @@ void PartitionRec(const JaaContext& ctx, int p, const Zone& zone,
   });
   if (ctx.options.wave_cap > 0 &&
       static_cast<int>(wave.size()) > ctx.options.wave_cap) {
+    // Batched scores at the zone interior; the sort compares flat scalars.
+    ScoreAll(ctx.band_cols, zone.interior, ctx.scratch->data());
+    const std::vector<Scalar>& sc = *ctx.scratch;
     std::partial_sort(
         wave.begin(), wave.begin() + ctx.options.wave_cap, wave.end(),
-        [&](int a, int b) {
-          return Score(ctx.data[ctx.band.ids[a]], zone.interior) >
-                 Score(ctx.data[ctx.band.ids[b]], zone.interior);
-        });
+        [&](int a, int b) { return sc[a] > sc[b]; });
     wave.resize(ctx.options.wave_cap);
   }
   Bitset inserted(ctx.g.size());
@@ -220,7 +223,12 @@ void Refine(const Jaa::Options& options, const Dataset& data,
   auto interior = FindInteriorPoint(r.constraints());
   assert(interior.has_value() && interior->radius > 0);
 
-  JaaContext ctx{data, band, g, options, k, result, &result->stats};
+  // Gathered SoA mirror of the band (see rsa.cc Refine).
+  const ColumnStore band_cols(data, band.ids);
+  std::vector<Scalar> scratch(band.ids.size());
+
+  JaaContext ctx{data,    band, band_cols, &scratch, g,
+                 options, k,    result,    &result->stats};
   Zone zone{r.constraints(), interior->x, interior->radius};
   Solve(ctx, zone, Bitset(g.size()), k, Bitset(g.size()));
 }
@@ -228,10 +236,12 @@ void Refine(const Jaa::Options& options, const Dataset& data,
 }  // namespace
 
 Utk2Result Jaa::Run(const Dataset& data, const RTree& tree,
-                    const ConvexRegion& r, int k) const {
+                    const ConvexRegion& r, int k,
+                    const ColumnStore* cols) const {
   Utk2Result result;
   Timer timer;
-  RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
+  RSkybandResult band =
+      ComputeRSkyband(data, tree, r, k, &result.stats, cols);
   Refine(options_, data, band, r, k, &result);
   result.Canonicalize();
   result.stats.elapsed_ms = timer.ElapsedMs();

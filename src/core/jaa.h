@@ -34,8 +34,10 @@ class Jaa {
   explicit Jaa(Options options) : options_(options) {}
 
   /// Answers UTK2 for `data` (indexed by `tree`), parameter `k`, region `r`.
+  /// `cols`, when non-null, must mirror `data`; the filtering step then
+  /// runs its columnar fast paths (see Rsa::Run).
   Utk2Result Run(const Dataset& data, const RTree& tree, const ConvexRegion& r,
-                 int k) const;
+                 int k, const ColumnStore* cols = nullptr) const;
 
   /// Refinement only: builds the common global arrangement from an
   /// already-computed filter output (see Rsa::RunFiltered for the band

@@ -6,6 +6,7 @@
 
 #include "arrangement/arrangement.h"
 #include "core/drill.h"
+#include "exec/kernels.h"
 #include "geometry/linear.h"
 #include "skyline/rskyband.h"
 
@@ -17,6 +18,8 @@ namespace {
 struct VerifyContext {
   const Dataset& data;
   const RSkybandResult& band;
+  const ColumnStore& band_cols;   // gathered SoA mirror: row i = band.ids[i]
+  std::vector<Scalar>* scratch;   // |band| score buffer for batched kernels
   const RDominanceGraph& g;
   const Rsa::Options& options;
   int cand;              // candidate node index
@@ -25,15 +28,18 @@ struct VerifyContext {
 };
 
 // Counts nodes outside `ignored` (and active in G) that score strictly above
-// the candidate at w. Exact within kEps.
+// the candidate at w. Exact within kEps. One batched ScoreAll sweep over the
+// gathered band columns replaces the per-record Score() pointer chase; the
+// kernel is bit-identical to Score(), so the comparisons are unchanged.
 int CountStrictlyBetter(const VerifyContext& ctx, const Bitset& ignored,
                         const Vec& w) {
   const Scalar s = ctx.cand_score.Eval(w);
+  ScoreAll(ctx.band_cols, w, ctx.scratch->data());
   int count = 0;
   const auto& active = ctx.g.Active();
   for (int i = 0; i < ctx.g.size(); ++i) {
     if (i == ctx.cand || !active.Test(i) || ignored.Test(i)) continue;
-    if (Score(ctx.data[ctx.band.ids[i]], w) > s + kEps) ++count;
+    if (EpsGt((*ctx.scratch)[i], s)) ++count;
   }
   return count;
 }
@@ -81,12 +87,12 @@ bool Verify(const VerifyContext& ctx, const std::vector<Halfspace>& bounds,
   });
   if (ctx.options.wave_cap > 0 &&
       static_cast<int>(wave.size()) > ctx.options.wave_cap) {
+    // Batched scores at the interior once; the sort compares flat scalars.
+    ScoreAll(ctx.band_cols, interior, ctx.scratch->data());
+    const std::vector<Scalar>& sc = *ctx.scratch;
     std::partial_sort(
         wave.begin(), wave.begin() + ctx.options.wave_cap, wave.end(),
-        [&](int a, int b) {
-          return Score(ctx.data[ctx.band.ids[a]], interior) >
-                 Score(ctx.data[ctx.band.ids[b]], interior);
-        });
+        [&](int a, int b) { return sc[a] > sc[b]; });
     wave.resize(ctx.options.wave_cap);
   }
   Bitset inserted(ctx.g.size());
@@ -168,9 +174,15 @@ void Refine(const Rsa::Options& options, const Dataset& data,
   auto interior = FindInteriorPoint(r.constraints());
   assert(interior.has_value() && interior->radius > 0);
 
+  // Gathered SoA mirror of the band: row i = data[band.ids[i]]. Every
+  // verification scores these few hundred rows over and over; the batched
+  // kernels sweep them contiguously.
+  const ColumnStore band_cols(data, band.ids);
+  std::vector<Scalar> scratch(band.ids.size());
+
   for (int p : order) {
     if (state[p] != State::kUnknown) continue;
-    VerifyContext ctx{data, band, g, options, p,
+    VerifyContext ctx{data,   band, band_cols, &scratch, g, options, p,
                       MakeScore(data[band.ids[p]]), &result->stats};
     // Ancestors are ignored and their count is absorbed into the quota.
     Bitset ignored = g.Ancestors(p);
@@ -194,10 +206,12 @@ void Refine(const Rsa::Options& options, const Dataset& data,
 }  // namespace
 
 Utk1Result Rsa::Run(const Dataset& data, const RTree& tree,
-                    const ConvexRegion& r, int k) const {
+                    const ConvexRegion& r, int k,
+                    const ColumnStore* cols) const {
   Utk1Result result;
   Timer timer;
-  RSkybandResult band = ComputeRSkyband(data, tree, r, k, &result.stats);
+  RSkybandResult band =
+      ComputeRSkyband(data, tree, r, k, &result.stats, cols);
   Refine(options_, data, band, r, k, &result);
   result.stats.elapsed_ms = timer.ElapsedMs();
   return result;

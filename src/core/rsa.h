@@ -33,8 +33,13 @@ class Rsa {
   explicit Rsa(Options options) : options_(options) {}
 
   /// Answers UTK1 for `data` (indexed by `tree`), parameter `k`, region `r`.
+  /// `cols`, when non-null, must mirror `data` (exec/column_store.h); the
+  /// filtering step then runs its columnar fast paths. Refinement always
+  /// gathers its own band-local ColumnStore — the band is scored thousands
+  /// of times, so the gather pays for itself immediately.
   Utk1Result Run(const Dataset& data, const RTree& tree,
-                 const ConvexRegion& r, int k) const;
+                 const ConvexRegion& r, int k,
+                 const ColumnStore* cols = nullptr) const;
 
   /// Refinement only: answers UTK1 from an already-computed filter output.
   /// `band` must cover every top-k set over `r` and carry the r-dominance

@@ -60,11 +60,13 @@ void PartitionedEngine::BuildShards() {
   const Dataset& data = base_->data();
   shard_of_.assign(data.size(), 0);
   if (config_.shards <= 1) {
-    // Single shard: alias the base engine's dataset and R-tree rather than
-    // duplicating them — a tiles-only configuration costs no extra memory.
+    // Single shard: alias the base engine's dataset, R-tree, and column
+    // store rather than duplicating them — a tiles-only configuration
+    // costs no extra memory.
     shards_.resize(1);
     shards_[0].records = &data;
     shards_[0].tree = &base_->tree();
+    shards_[0].cols = &base_->cols();
     return;
   }
   std::vector<std::vector<int32_t>> parts =
@@ -82,8 +84,10 @@ void PartitionedEngine::BuildShards() {
       shard.owned_records.push_back(std::move(r));
     }
     shard.owned_tree = RTree::BulkLoad(shard.owned_records);
+    shard.owned_cols = ColumnStore(shard.owned_records);
     shard.records = &shard.owned_records;
     shard.tree = &shard.owned_tree;
+    shard.cols = &shard.owned_cols;
   });
   for (size_t s = 0; s < shards_.size(); ++s)
     for (int32_t id : shards_[s].global_ids)
@@ -142,8 +146,9 @@ void PartitionedEngine::FilterAll(
     pruners.reserve(seeds[t].size());
     for (int32_t id : seeds[t])
       if (shard_of_[id] != s) pruners.push_back(base_->data()[id]);
-    RSkybandResult local = ComputeRSkyband(
-        *shard.records, *shard.tree, tiles[t], k, pruners, &(*stats)[idx]);
+    RSkybandResult local =
+        ComputeRSkyband(*shard.records, *shard.tree, tiles[t], k, pruners,
+                        &(*stats)[idx], shard.cols);
     (*ms)[idx] = timer.ElapsedMs();
     std::vector<int32_t>& out = (*ids)[t][s];
     out.reserve(local.ids.size());
@@ -211,8 +216,9 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   ParallelFor(T, threads, [&](int t) {
     std::vector<int32_t> pool = UnionPool(shard_ids[t]);
     pool_sizes[t] = static_cast<int64_t>(pool.size());
-    RSkybandResult band = ComputeRSkybandFromPool(
-        base_->data(), std::move(pool), tiles[t], spec.k, &tile_stats[t]);
+    RSkybandResult band =
+        ComputeRSkybandFromPool(base_->data(), std::move(pool), tiles[t],
+                                spec.k, &tile_stats[t], &base_->cols());
     band_sizes[t] = static_cast<int64_t>(band.ids.size());
 
     QueryResult r;

@@ -142,8 +142,10 @@ class PartitionedEngine final : public QueryEngine {
     std::vector<int32_t> global_ids;
     Dataset owned_records;  ///< re-indexed copy (multi-shard only)
     RTree owned_tree;
+    ColumnStore owned_cols;  ///< SoA mirror of owned_records
     const Dataset* records = nullptr;  ///< -> owned_records or base data
     const RTree* tree = nullptr;       ///< -> owned_tree or base tree
+    const ColumnStore* cols = nullptr;  ///< -> owned_cols or base cols
 
     int32_t ToGlobal(int32_t local) const {
       return global_ids.empty() ? local : global_ids[local];

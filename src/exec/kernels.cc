@@ -1,0 +1,188 @@
+#include "exec/kernels.h"
+
+#include <cassert>
+#include <queue>
+
+namespace utk {
+
+void ScoreAll(const ColumnStore& cols, const Vec& w, Scalar* out) {
+  ScoreRange(cols, w, 0, cols.size(), out);
+}
+
+void ScoreRange(const ColumnStore& cols, const Vec& w, int32_t begin,
+                int32_t end, Scalar* out) {
+  if (cols.empty() || begin >= end) return;
+  const int d = cols.dim();
+  assert(static_cast<int>(w.size()) == d - 1);
+  const Scalar* last = cols.col(d - 1);
+  const int32_t n = end - begin;
+  for (int32_t j = 0; j < n; ++j) out[j] = last[begin + j];
+  for (int i = 0; i < d - 1; ++i) {
+    const Scalar wi = w[i];
+    const Scalar* ci = cols.col(i);
+    for (int32_t j = 0; j < n; ++j)
+      out[j] += wi * (ci[begin + j] - last[begin + j]);
+  }
+}
+
+void ScoreBatch(const ColumnStore& cols, const Vec& w,
+                std::span<const int32_t> rows, Scalar* out) {
+  if (cols.empty() || rows.empty()) return;
+  const int d = cols.dim();
+  assert(static_cast<int>(w.size()) == d - 1);
+  const Scalar* last = cols.col(d - 1);
+  const size_t n = rows.size();
+  for (size_t j = 0; j < n; ++j) out[j] = last[rows[j]];
+  for (int i = 0; i < d - 1; ++i) {
+    const Scalar wi = w[i];
+    const Scalar* ci = cols.col(i);
+    for (size_t j = 0; j < n; ++j)
+      out[j] += wi * (ci[rows[j]] - last[rows[j]]);
+  }
+}
+
+std::vector<int32_t> TopKScan(const ColumnStore& cols, const Vec& w, int k) {
+  std::vector<int32_t> out;
+  const int32_t n = cols.size();
+  if (n == 0 || k <= 0) return out;
+
+  struct Entry {
+    Scalar score;
+    int32_t row;
+    // priority_queue keeps the *worst* entry on top under this "better
+    // than" order, so the heap is a running top-k set.
+    bool operator<(const Entry& o) const {
+      if (score != o.score) return score > o.score;
+      return row < o.row;
+    }
+  };
+  std::priority_queue<Entry> heap;
+
+  constexpr int32_t kBlock = 1024;
+  Scalar buf[kBlock];
+  for (int32_t begin = 0; begin < n; begin += kBlock) {
+    const int32_t end = std::min<int32_t>(begin + kBlock, n);
+    ScoreRange(cols, w, begin, end, buf);
+    for (int32_t j = 0; j < end - begin; ++j) {
+      const Entry cand{buf[j], begin + j};
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push(cand);
+      } else if (cand < heap.top()) {  // "better than" orders as less-than
+        heap.pop();
+        heap.push(cand);
+      }
+    }
+  }
+
+  out.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().row;
+    heap.pop();
+  }
+  return out;
+}
+
+namespace {
+
+// The single eps-dominance loop both counting kernels share — the
+// bit-for-bit twin of skyline/dominance.cc Dominates(). As with GapRange
+// below, the accessors abstract only where the attributes live; the
+// comparison logic exists once.
+template <typename GetA, typename GetB>
+inline bool DominatesWith(int d, const GetA& a, const GetB& b, Scalar eps) {
+  bool strict = false;
+  for (int i = 0; i < d; ++i) {
+    const Scalar av = a(i), bv = b(i);
+    if (av < bv - eps) return false;
+    if (av > bv + eps) strict = true;
+  }
+  return strict;
+}
+
+/// Replays Dominates(cols row r, cols row j, eps) column-wise.
+inline bool RowDominates(const ColumnStore& cols, int32_t r, int32_t j,
+                         Scalar eps) {
+  return DominatesWith(
+      cols.dim(), [&](int i) { return cols.at(r, i); },
+      [&](int i) { return cols.at(j, i); }, eps);
+}
+
+}  // namespace
+
+void DominatedCounts(const ColumnStore& cols, std::span<const int32_t> rows,
+                     std::span<const int32_t> refs, int cap, Scalar eps,
+                     int32_t* out) {
+  for (size_t j = 0; j < rows.size(); ++j) {
+    int32_t count = 0;
+    for (int32_t r : refs) {
+      if (r == rows[j]) continue;
+      if (RowDominates(cols, r, rows[j], eps) && ++count >= cap) break;
+    }
+    out[j] = count;
+  }
+}
+
+int CountDominatorsOfPoint(const ColumnStore& cols,
+                           std::span<const int32_t> rows, const Vec& v,
+                           int cap, Scalar eps) {
+  const int d = cols.dim();
+  assert(static_cast<int>(v.size()) == d);
+  int count = 0;
+  for (int32_t r : rows) {
+    const bool dominates = DominatesWith(
+        d, [&](int i) { return cols.at(r, i); },
+        [&](int i) { return v[i]; }, eps);
+    if (dominates && ++count >= cap) return cap;
+  }
+  return count;
+}
+
+namespace {
+
+// The single range accumulation all three Range() forms share — the
+// bit-for-bit twin of DiffScore + ConvexRegion::RangeOf's box path. The
+// attribute accessors abstract only where p/q live (a store row or a free
+// Vec); the expression tree and accumulation order are fixed here, once.
+template <typename GetP, typename GetQ>
+inline std::pair<Scalar, Scalar> GapRange(int d, const GetP& p, const GetQ& q,
+                                          const Vec& box_lo,
+                                          const Vec& box_hi) {
+  const Scalar pl = p(d - 1), ql = q(d - 1);
+  const Scalar offset = pl - ql;
+  Scalar lo = offset, hi = offset;
+  for (int i = 0; i < d - 1; ++i) {
+    const Scalar c = (p(i) - pl) - (q(i) - ql);
+    if (c >= 0.0) {
+      lo += c * box_lo[i];
+      hi += c * box_hi[i];
+    } else {
+      lo += c * box_hi[i];
+      hi += c * box_lo[i];
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::pair<Scalar, Scalar> BoxGapEvaluator::Range(int32_t p, int32_t q) const {
+  return GapRange(
+      cols_->dim(), [&](int i) { return cols_->at(p, i); },
+      [&](int i) { return cols_->at(q, i); }, *lo_, *hi_);
+}
+
+std::pair<Scalar, Scalar> BoxGapEvaluator::Range(const Vec& p_attrs,
+                                                 int32_t q) const {
+  return GapRange(
+      cols_->dim(), [&](int i) { return p_attrs[i]; },
+      [&](int i) { return cols_->at(q, i); }, *lo_, *hi_);
+}
+
+std::pair<Scalar, Scalar> BoxGapEvaluator::Range(int32_t p,
+                                                 const Vec& corner) const {
+  return GapRange(
+      cols_->dim(), [&](int i) { return cols_->at(p, i); },
+      [&](int i) { return corner[i]; }, *lo_, *hi_);
+}
+
+}  // namespace utk

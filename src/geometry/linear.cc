@@ -63,8 +63,8 @@ Halfspace BetterOrEqual(const Record& p, const Record& q) {
 
 bool IsTrivial(const Halfspace& h, Scalar eps) {
   for (Scalar v : h.a)
-    if (std::fabs(v) > eps) return false;
-  return h.b >= -eps;
+    if (!EpsEq(v, 0.0, eps)) return false;
+  return EpsGe(h.b, 0.0, eps);
 }
 
 }  // namespace utk

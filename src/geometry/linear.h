@@ -28,7 +28,7 @@ struct Halfspace {
   /// Signed slack b - a.w ; >= 0 inside the half-space.
   Scalar Slack(const Vec& w) const { return b - Dot(a, w); }
   bool Contains(const Vec& w, Scalar eps = kEps) const {
-    return Slack(w) >= -eps;
+    return EpsGe(Slack(w), 0.0, eps);
   }
   /// The complementary (open, here closed-with-eps) half-space a.w >= b.
   Halfspace Complement() const;

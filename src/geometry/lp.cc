@@ -9,7 +9,8 @@ namespace utk {
 
 namespace {
 
-constexpr Scalar kPivotEps = 1e-10;
+// The pivot tolerance is the library-wide kPivotEps (common/types.h),
+// deliberately tighter than the geometric kEps — see the note there.
 
 thread_local int64_t g_lp_solves = 0;
 
@@ -47,24 +48,30 @@ class Tableau {
       // reduced profit (we maximize, so look for obj coefficient > eps).
       int enter = -1;
       for (int c = 0; c < cols_; ++c) {
-        if (obj_[c] > kPivotEps) {
+        if (EpsGt(obj_[c], 0.0, kPivotEps)) {
           enter = c;
           break;
         }
       }
       if (enter < 0) return true;  // optimal
-      // Ratio test, Bland tie-break on basis variable index.
+      // Ratio test, Bland tie-break on basis variable index. A tie-break
+      // winner must never *raise* the incumbent ratio: within the tie band
+      // the minimum of the tied ratios is kept, so degenerate ties (many
+      // rows within kPivotEps of each other) cannot drift best_ratio
+      // upward and admit a row whose true ratio is larger.
       int leave = -1;
       Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
       for (int r = 0; r < rows_; ++r) {
         const Scalar coef = a_[r * (cols_ + 1) + enter];
-        if (coef > kPivotEps) {
+        if (EpsGt(coef, 0.0, kPivotEps)) {
           const Scalar ratio = a_[r * (cols_ + 1) + cols_] / coef;
-          if (ratio < best_ratio - kPivotEps ||
-              (ratio < best_ratio + kPivotEps &&
-               (leave < 0 || basis_[r] < basis_[leave]))) {
+          if (EpsLt(ratio, best_ratio, kPivotEps)) {
             best_ratio = ratio;
             leave = r;
+          } else if (EpsLe(ratio, best_ratio, kPivotEps) &&
+                     (leave < 0 || basis_[r] < basis_[leave])) {
+            leave = r;
+            best_ratio = std::min(best_ratio, ratio);
           }
         }
       }
@@ -120,12 +127,12 @@ LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
     assert(static_cast<int>(h.a.size()) == nv);
     bool zero = true;
     for (Scalar v : h.a)
-      if (std::fabs(v) > kEps) {
+      if (!EpsEq(v, 0.0)) {
         zero = false;
         break;
       }
     if (zero) {
-      if (h.b < -kEps) return {LpStatus::kInfeasible, {}, 0.0};
+      if (EpsLt(h.b, 0.0)) return {LpStatus::kInfeasible, {}, 0.0};
       continue;
     }
     cons.push_back(&h);

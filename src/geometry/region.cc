@@ -30,8 +30,8 @@ ConvexRegion ConvexRegion::FromBox(const Vec& lo, const Vec& hi) {
     r.constraints_.push_back(std::move(lower));
   }
   const Scalar hi_sum = std::accumulate(hi.begin(), hi.end(), Scalar{0});
-  bool inside_simplex = hi_sum <= 1.0 + kEps;
-  for (int i = 0; i < dim; ++i) inside_simplex &= lo[i] >= -kEps;
+  bool inside_simplex = EpsLe(hi_sum, 1.0);
+  for (int i = 0; i < dim; ++i) inside_simplex &= EpsGe(lo[i], 0.0);
   if (inside_simplex) {
     r.is_box_ = true;
     r.box_lo_ = lo;
@@ -88,8 +88,8 @@ bool ConvexRegion::ContainsRegion(const ConvexRegion& inner,
   if (is_box_ && inner.is_box_) {
     if (inner.dim_ != dim_) return false;
     for (int i = 0; i < dim_; ++i) {
-      if (inner.box_lo_[i] < box_lo_[i] - eps) return false;
-      if (inner.box_hi_[i] > box_hi_[i] + eps) return false;
+      if (EpsLt(inner.box_lo_[i], box_lo_[i], eps)) return false;
+      if (EpsGt(inner.box_hi_[i], box_hi_[i], eps)) return false;
     }
     return true;
   }
@@ -97,7 +97,7 @@ bool ConvexRegion::ContainsRegion(const ConvexRegion& inner,
   for (const Halfspace& h : constraints_) {
     if (inner.is_box_) {  // closed-form maximum over a box
       auto range = inner.RangeOf(h.a, 0.0);
-      if (range->second > h.b + eps) return false;
+      if (EpsGt(range->second, h.b, eps)) return false;
       continue;
     }
     // RangeOf cannot distinguish empty from unbounded, so solve the max LP
@@ -106,7 +106,7 @@ bool ConvexRegion::ContainsRegion(const ConvexRegion& inner,
     LpResult hi = SolveLp(h.a, inner.constraints_, /*maximize=*/true);
     if (hi.status == LpStatus::kInfeasible) return true;
     if (hi.status == LpStatus::kUnbounded) return false;
-    if (hi.objective > h.b + eps) return false;
+    if (EpsGt(hi.objective, h.b, eps)) return false;
   }
   return true;
 }
@@ -229,7 +229,7 @@ ConvexRegion ConvexRegion::Reduced() const {
       if (j != i) others.push_back(kept[j]);
     LpResult r = SolveLp(kept[i].a, others, /*maximize=*/true);
     const bool redundant =
-        r.status == LpStatus::kOptimal && r.objective <= kept[i].b + kEps;
+        r.status == LpStatus::kOptimal && EpsLe(r.objective, kept[i].b);
     if (redundant) {
       kept.erase(kept.begin() + i);
     } else {

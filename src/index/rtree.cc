@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <set>
+#include <string>
 
 namespace utk {
 
@@ -297,6 +299,82 @@ std::vector<int32_t> RTree::FindLeaf(const Dataset& data, int32_t id) const {
     if (!descended) stack.pop_back();
   }
   return {};
+}
+
+bool RTree::CheckInvariants(const Dataset& data, std::string* error) const {
+  auto fail = [&](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (nodes_.empty()) {
+    if (root_ != -1 || height_ != 0 || num_records_ != 0 || !free_.empty())
+      return fail("empty tree with non-reset bookkeeping");
+    return true;
+  }
+  if (root_ < 0 || root_ >= static_cast<int32_t>(nodes_.size()))
+    return fail("root id out of range");
+
+  std::set<int32_t> reachable;
+  std::set<int32_t> record_ids;
+  int leaf_depth = -1;
+  // DFS with explicit depth; detects double-reachability as a revisit.
+  std::vector<std::pair<int32_t, int>> stack = {{root_, 1}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    if (id < 0 || id >= static_cast<int32_t>(nodes_.size()))
+      return fail("child id out of range: " + std::to_string(id));
+    if (!reachable.insert(id).second)
+      return fail("node reachable twice: " + std::to_string(id));
+    const RTreeNode& n = nodes_[id];
+    const size_t fill = n.is_leaf ? n.record_ids.size() : n.entries.size();
+    if (fill < 1 || fill > static_cast<size_t>(kFanout))
+      return fail("node " + std::to_string(id) + " fill " +
+                  std::to_string(fill) + " outside [1, kFanout]");
+    // Exact hull check: recompute and compare component-wise equality.
+    Mbb hull = Mbb::Empty(static_cast<int>(n.mbb.lo.size()));
+    if (n.is_leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth)
+        return fail("leaves at unequal depths (" + std::to_string(depth) +
+                    " vs " + std::to_string(leaf_depth) + ")");
+      for (int32_t rid : n.record_ids) {
+        if (rid < 0 || rid >= static_cast<int32_t>(data.size()))
+          return fail("record id out of range: " + std::to_string(rid));
+        if (!record_ids.insert(rid).second)
+          return fail("record indexed twice: " + std::to_string(rid));
+        hull.Expand(data[rid].attrs);
+      }
+    } else {
+      for (int32_t child : n.entries) {
+        if (child < 0 || child >= static_cast<int32_t>(nodes_.size()))
+          return fail("child id out of range: " + std::to_string(child));
+        hull.Expand(nodes_[child].mbb);
+        stack.emplace_back(child, depth + 1);
+      }
+    }
+    if (hull.lo != n.mbb.lo || hull.hi != n.mbb.hi)
+      return fail("node " + std::to_string(id) +
+                  " MBB is not the exact hull of its contents");
+  }
+  if (leaf_depth != height_)
+    return fail("leaf depth " + std::to_string(leaf_depth) +
+                " != height " + std::to_string(height_));
+  if (static_cast<int64_t>(record_ids.size()) != num_records_)
+    return fail("num_records " + std::to_string(num_records_) + " != " +
+                std::to_string(record_ids.size()) + " reachable records");
+  // Free list and reachable set must partition the node slots.
+  std::set<int32_t> freed(free_.begin(), free_.end());
+  if (freed.size() != free_.size())
+    return fail("free list holds a duplicate slot");
+  for (int32_t f : freed)
+    if (reachable.count(f) != 0)
+      return fail("free-listed node reachable: " + std::to_string(f));
+  if (reachable.size() + freed.size() != nodes_.size())
+    return fail("leaked node slots: " + std::to_string(nodes_.size()) +
+                " allocated, " + std::to_string(reachable.size()) +
+                " reachable + " + std::to_string(freed.size()) + " freed");
+  return true;
 }
 
 bool RTree::Erase(const Dataset& data, int32_t id) {

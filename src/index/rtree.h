@@ -9,6 +9,7 @@
 #define UTK_INDEX_RTREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -77,6 +78,23 @@ class RTree {
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
   /// Number of records currently indexed.
   int64_t num_records() const { return num_records_; }
+
+  /// Debug validator: walks the whole tree and verifies every structural
+  /// invariant the query paths rely on —
+  ///   * each node's MBB is EXACTLY the hull of its contents (not merely
+  ///     containing them: FindLeaf's containment pruning and the BBS score
+  ///     upper bounds both assume tight boxes),
+  ///   * the reachable node set and the free list partition the node slots
+  ///     (free-listed nodes unreachable, no slot leaked, no node reachable
+  ///     via two parents),
+  ///   * reachable nodes respect 1 <= fill <= kFanout,
+  ///   * all leaves sit at the same depth, equal to height(),
+  ///   * record ids are unique and their count equals num_records().
+  /// Returns true when all hold; otherwise false with a diagnostic for the
+  /// first violation in `error` (when provided). O(n) — meant for tests
+  /// and debug assertions after randomized update storms, not hot paths.
+  bool CheckInvariants(const Dataset& data,
+                       std::string* error = nullptr) const;
 
  private:
   /// Takes a node slot from the free list (or grows the vector).

@@ -43,6 +43,7 @@ LiveEngine::LiveEngine(Dataset data, LiveConfig config)
       data_(std::move(data)),
       alive_(data_.size(), 1),
       tree_(RTree::BulkLoad(data_)),
+      cols_(data_),
       band_(std::max(config.band_k, 1), config.band_slack) {
   live_.store(static_cast<int64_t>(data_.size()), std::memory_order_relaxed);
   band_.Rebuild(data_, tree_);
@@ -104,10 +105,11 @@ QueryResult LiveEngine::RunBandPipeline(const QuerySpec& spec,
     // and every k <= band_k (live_band.h), so refiltering it within itself
     // is exactly the partitioned engine's pool argument.
     band = ComputeRSkybandFromPool(data_, band_.BandIds(), spec.region,
-                                   spec.k, &filter_stats);
+                                   spec.k, &filter_stats, &cols_);
     pool_queries_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    band = ComputeRSkyband(data_, tree_, spec.region, spec.k, &filter_stats);
+    band = ComputeRSkyband(data_, tree_, spec.region, spec.k, &filter_stats,
+                           &cols_);
     direct_queries_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -168,7 +170,7 @@ QueryResult LiveEngine::Run(const QuerySpec& spec) const {
 
 std::vector<int32_t> LiveEngine::TopK(const Vec& w, int k) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return TopKRTree(data_, tree_, w, k);
+  return TopKRTree(data_, tree_, w, k, nullptr, &cols_);
 }
 
 bool LiveEngine::IsLive(int32_t id) const {
@@ -229,6 +231,9 @@ int32_t LiveEngine::InsertLocked(Record rec, UpdateEvent* event) {
     data_[id] = std::move(rec);
     alive_[id] = 1;
   }
+  // Keep the SoA mirror in lockstep (append or overwrite the tombstone's
+  // row) before any index reads the new record.
+  cols_.SetRow(id, data_[id].attrs);
   tree_.Insert(data_, id);
   band_.Insert(data_, tree_, id);
   live_.fetch_add(1, std::memory_order_release);

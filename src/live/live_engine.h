@@ -53,6 +53,7 @@
 #include "api/engine.h"
 #include "api/query_engine.h"
 #include "data/workload.h"
+#include "exec/column_store.h"
 #include "index/rtree.h"
 #include "serve/result_cache.h"
 #include "skyline/live_band.h"
@@ -98,6 +99,10 @@ class LiveEngine final : public QueryEngine {
   /// still holds; IsLive distinguishes). Algorithms only dereference ids
   /// the live indexes hand out, so tombstones are never touched.
   const Dataset& data() const override { return data_; }
+  /// The SoA mirror of data() — maintained incrementally in lockstep with
+  /// the catalog (SetRow on every insert/revival; tombstones keep their
+  /// last attributes, same as data()). Stable only while no update runs.
+  const ColumnStore& cols() const { return cols_; }
   Algorithm Plan(const QuerySpec& spec) const override;
   std::optional<std::string> Validate(const QuerySpec& spec) const override;
   QueryResult Run(const QuerySpec& spec) const override;
@@ -172,6 +177,7 @@ class LiveEngine final : public QueryEngine {
   Dataset data_;
   std::vector<char> alive_;
   RTree tree_;
+  ColumnStore cols_;
   LiveSkyband band_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> live_{0};

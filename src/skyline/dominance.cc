@@ -5,21 +5,21 @@ namespace utk {
 bool Dominates(const Vec& a, const Vec& b, Scalar eps) {
   bool strict = false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i] < b[i] - eps) return false;
-    if (a[i] > b[i] + eps) strict = true;
+    if (EpsLt(a[i], b[i], eps)) return false;
+    if (EpsGt(a[i], b[i], eps)) strict = true;
   }
   return strict;
 }
 
 bool WeaklyDominates(const Vec& a, const Vec& b, Scalar eps) {
   for (size_t i = 0; i < a.size(); ++i)
-    if (a[i] < b[i] - eps) return false;
+    if (EpsLt(a[i], b[i], eps)) return false;
   return true;
 }
 
 bool StronglyDominates(const Vec& a, const Vec& b, Scalar margin) {
   for (size_t i = 0; i < a.size(); ++i)
-    if (a[i] <= b[i] + margin) return false;
+    if (!EpsGt(a[i], b[i], margin)) return false;
   return true;
 }
 

@@ -13,14 +13,18 @@
 namespace utk {
 
 /// True iff a dominates b: a >= b component-wise with at least one strict.
-bool Dominates(const Vec& a, const Vec& b, Scalar eps = 0.0);
+/// The default tolerance is the library-wide kEps (common/types.h) — the
+/// same convention Halfspace::Contains and the r-dominance classification
+/// use, so a score tie and an attribute tie are judged by one yardstick.
+/// Pass eps = 0 explicitly for exact comparisons.
+bool Dominates(const Vec& a, const Vec& b, Scalar eps = kEps);
 
 inline bool Dominates(const Record& a, const Record& b) {
   return Dominates(a.attrs, b.attrs);
 }
 
 /// True iff a >= b component-wise (weak dominance; equality allowed).
-bool WeaklyDominates(const Vec& a, const Vec& b, Scalar eps = 0.0);
+bool WeaklyDominates(const Vec& a, const Vec& b, Scalar eps = kEps);
 
 /// True iff a beats b by more than `margin` in *every* dimension. With
 /// margin = kEps this is the region-robust form of dominance: the score gap

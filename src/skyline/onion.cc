@@ -52,7 +52,7 @@ bool IsFirstQuadrantHullMember(const Record& p,
   obj[nv] = 1.0;
   if (stats != nullptr) ++stats->lp_calls;
   LpResult r = SolveLp(obj, cons, /*maximize=*/true);
-  return r.status == LpStatus::kOptimal && r.objective >= -kEps;
+  return r.status == LpStatus::kOptimal && EpsGe(r.objective, 0.0);
 }
 
 std::vector<std::vector<int32_t>> OnionLayers(const Dataset& data,

@@ -19,6 +19,13 @@ void DiffScore(const Vec& p, const Vec& q, Vec* coef, Scalar* offset) {
 
 }  // namespace
 
+RDom ClassifyScoreRange(Scalar lo, Scalar hi) {
+  if (EpsGe(lo, 0.0) && EpsGt(hi, 0.0)) return RDom::kDominates;
+  if (EpsLe(hi, 0.0) && EpsLt(lo, 0.0)) return RDom::kDominatedBy;
+  if (EpsGe(lo, 0.0) && EpsLe(hi, 0.0)) return RDom::kEqual;
+  return RDom::kIncomparable;
+}
+
 RDom RDominance(const Record& p, const Record& q, const ConvexRegion& r,
                 QueryStats* stats) {
   if (stats != nullptr) ++stats->rdom_tests;
@@ -27,11 +34,7 @@ RDom RDominance(const Record& p, const Record& q, const ConvexRegion& r,
   DiffScore(p.attrs, q.attrs, &coef, &offset);
   auto range = r.RangeOf(coef, offset);
   assert(range.has_value() && "r-dominance test over an empty region");
-  const auto [lo, hi] = *range;
-  if (lo >= -kEps && hi > kEps) return RDom::kDominates;
-  if (hi <= kEps && lo < -kEps) return RDom::kDominatedBy;
-  if (lo >= -kEps && hi <= kEps) return RDom::kEqual;
-  return RDom::kIncomparable;
+  return ClassifyScoreRange(range->first, range->second);
 }
 
 bool RDominatesCorner(const Record& q, const Vec& corner,
@@ -44,7 +47,7 @@ bool RDominatesCorner(const Record& q, const Vec& corner,
   assert(range.has_value());
   // q r-dominates the corner when S(q) >= S(corner) everywhere in R with a
   // strict gap somewhere.
-  return range->first >= -kEps && range->second > kEps;
+  return EpsGe(range->first, 0.0) && EpsGt(range->second, 0.0);
 }
 
 }  // namespace utk

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
 #include <queue>
 
+#include "exec/kernels.h"
 #include "geometry/linear.h"
 #include "skyline/rdominance.h"
 
@@ -25,24 +27,81 @@ Scalar CornerScore(const Vec& corner, const Vec& pivot) {
   return Score(tmp, pivot);
 }
 
+// Per-query r-dominance dispatcher: the columnar box fast path when a
+// mirroring ColumnStore is available and R is a box, the generic
+// RDominance / RDominatesCorner otherwise. Both roads produce identical
+// bits (ClassifyScoreRange is shared and BoxGapEvaluator replays
+// DiffScore + RangeOf's arithmetic order).
+class RDomDispatch {
+ public:
+  RDomDispatch(const Dataset& data, const ConvexRegion& r,
+               const ColumnStore* cols, QueryStats* stats)
+      : data_(data), r_(r), stats_(stats) {
+    if (cols != nullptr && !cols->empty()) {
+      gap_.emplace(*cols, r);
+      if (!gap_->valid()) gap_.reset();
+    }
+  }
+
+  /// RDominance(data[p], data[q], r) == kDominates.
+  bool Dominates(int32_t p, int32_t q) const {
+    if (gap_.has_value()) {
+      if (stats_ != nullptr) ++stats_->rdom_tests;
+      const auto [lo, hi] = gap_->Range(p, q);
+      return ClassifyScoreRange(lo, hi) == RDom::kDominates;
+    }
+    return RDominance(data_[p], data_[q], r_, stats_) == RDom::kDominates;
+  }
+
+  /// RDominance(pruner, data[q], r) == kDominates (pruners live outside
+  /// `data` — other shards' records — so they address the store by attrs).
+  bool PrunerDominates(const Record& pruner, int32_t q) const {
+    if (gap_.has_value()) {
+      if (stats_ != nullptr) ++stats_->rdom_tests;
+      const auto [lo, hi] = gap_->Range(pruner.attrs, q);
+      return ClassifyScoreRange(lo, hi) == RDom::kDominates;
+    }
+    return RDominance(pruner, data_[q], r_, stats_) == RDom::kDominates;
+  }
+
+  /// RDominatesCorner(data[p], corner, r).
+  bool DominatesCorner(int32_t p, const Vec& corner) const {
+    if (gap_.has_value()) {
+      if (stats_ != nullptr) ++stats_->rdom_tests;
+      const auto [lo, hi] = gap_->Range(p, corner);
+      return EpsGe(lo, 0.0) && EpsGt(hi, 0.0);
+    }
+    return RDominatesCorner(data_[p], corner, r_, stats_);
+  }
+
+ private:
+  const Dataset& data_;
+  const ConvexRegion& r_;
+  QueryStats* stats_;
+  std::optional<BoxGapEvaluator> gap_;
+};
+
 }  // namespace
 
 RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
-                               QueryStats* stats) {
+                               QueryStats* stats, const ColumnStore* cols) {
   static const std::vector<Record> kNoPruners;
-  return ComputeRSkyband(data, tree, r, k, kNoPruners, stats);
+  return ComputeRSkyband(data, tree, r, k, kNoPruners, stats, cols);
 }
 
 RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
                                const std::vector<Record>& pruners,
-                               QueryStats* stats) {
+                               QueryStats* stats, const ColumnStore* cols) {
   RSkybandResult result;
   auto pivot = r.Pivot();
   assert(pivot.has_value() && "query region has empty interior");
   result.pivot = *pivot;
   if (tree.empty()) return result;
+
+  const bool soa = cols != nullptr && !cols->empty();
+  RDomDispatch rdom(data, r, cols, stats);
 
   // Pruners ordered strongest-first at the pivot. Together with the heap
   // key (an entry's pivot score) this admits an exact early break in every
@@ -61,6 +120,10 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
   // their score list is born sorted and the same break applies.
   std::vector<Scalar> member_score;
 
+  // Leaf-scan scratch: one batched ScoreBatch per popped leaf instead of a
+  // Score() pointer chase per record.
+  std::vector<Scalar> leaf_scores;
+
   std::priority_queue<HeapEntry> heap;
   heap.push({CornerScore(tree.node(tree.root()).mbb.TopCorner(), result.pivot),
              false, tree.root()});
@@ -77,17 +140,14 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
       bool pruned = false;
       for (int i : pruner_order) {
         if (pruner_score[i] < e.key - kEps) break;
-        if (RDominance(pruners[i], data[e.id], r, stats) ==
-                RDom::kDominates &&
-            ++pruner_doms >= k) {
+        if (rdom.PrunerDominates(pruners[i], e.id) && ++pruner_doms >= k) {
           pruned = true;
           break;
         }
       }
       std::vector<int> doms;
       for (size_t i = 0; !pruned && i < result.ids.size(); ++i) {
-        if (RDominance(data[result.ids[i]], data[e.id], r, stats) ==
-            RDom::kDominates) {
+        if (rdom.Dominates(result.ids[i], e.id)) {
           doms.push_back(static_cast<int>(i));
           if (static_cast<int>(doms.size()) + pruner_doms >= k) {
             pruned = true;
@@ -116,8 +176,7 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
       }
       for (size_t i = 0; !pruned && i < result.ids.size(); ++i) {
         if (member_score[i] < e.key - kEps) break;
-        if (RDominatesCorner(data[result.ids[i]], node.mbb.TopCorner(), r,
-                             stats) &&
+        if (rdom.DominatesCorner(result.ids[i], node.mbb.TopCorner()) &&
             ++count >= k) {
           pruned = true;
           break;
@@ -125,8 +184,16 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
       }
       if (pruned) continue;
       if (node.is_leaf) {
-        for (int32_t rid : node.record_ids)
-          heap.push({Score(data[rid], result.pivot), true, rid});
+        if (soa) {
+          leaf_scores.resize(node.record_ids.size());
+          ScoreBatch(*cols, result.pivot, node.record_ids,
+                     leaf_scores.data());
+          for (size_t i = 0; i < node.record_ids.size(); ++i)
+            heap.push({leaf_scores[i], true, node.record_ids[i]});
+        } else {
+          for (int32_t rid : node.record_ids)
+            heap.push({Score(data[rid], result.pivot), true, rid});
+        }
       } else {
         for (int32_t child : node.entries)
           heap.push({CornerScore(tree.node(child).mbb.TopCorner(),
@@ -143,23 +210,43 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
 RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
                                        std::vector<int32_t> pool,
                                        const ConvexRegion& r, int k,
-                                       QueryStats* stats) {
+                                       QueryStats* stats,
+                                       const ColumnStore* cols) {
   RSkybandResult result;
   auto pivot = r.Pivot();
   assert(pivot.has_value() && "query region has empty interior");
   result.pivot = *pivot;
 
-  std::sort(pool.begin(), pool.end(), [&](int32_t a, int32_t b) {
-    const Scalar sa = Score(data[a], result.pivot);
-    const Scalar sb = Score(data[b], result.pivot);
-    return sa != sb ? sa > sb : a < b;
-  });
+  const bool soa = cols != nullptr && !cols->empty();
+  RDomDispatch rdom(data, r, cols, stats);
+
+  if (soa) {
+    // One batched pass over the pool; the sort then runs on a flat score
+    // array instead of recomputing Score() per comparison.
+    std::vector<Scalar> pool_score(pool.size());
+    ScoreBatch(*cols, result.pivot, pool, pool_score.data());
+    std::vector<int32_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      const Scalar sa = pool_score[a], sb = pool_score[b];
+      return sa != sb ? sa > sb : pool[a] < pool[b];
+    });
+    std::vector<int32_t> sorted(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) sorted[i] = pool[order[i]];
+    pool = std::move(sorted);
+  } else {
+    std::sort(pool.begin(), pool.end(), [&](int32_t a, int32_t b) {
+      const Scalar sa = Score(data[a], result.pivot);
+      const Scalar sb = Score(data[b], result.pivot);
+      return sa != sb ? sa > sb : a < b;
+    });
+  }
+
   for (int32_t id : pool) {
     std::vector<int> doms;
     bool pruned = false;
     for (size_t i = 0; i < result.ids.size(); ++i) {
-      if (RDominance(data[result.ids[i]], data[id], r, stats) ==
-          RDom::kDominates) {
+      if (rdom.Dominates(result.ids[i], id)) {
         doms.push_back(static_cast<int>(i));
         if (static_cast<int>(doms.size()) >= k) {
           pruned = true;

@@ -14,10 +14,19 @@
 #ifndef UTK_SKYLINE_RSKYBAND_H_
 #define UTK_SKYLINE_RSKYBAND_H_
 
+// Columnar execution: every entry point takes an optional ColumnStore
+// (exec/column_store.h) mirroring `data`. When present — and it is for
+// every engine-owned catalog and shard — leaf scans score through the
+// batched ScoreBatch kernel and box-region r-dominance tests run through
+// the allocation-free BoxGapEvaluator, both bit-for-bit equal to the AoS
+// scalar path (tests/test_exec.cc). cols == nullptr keeps the original
+// AoS loops, which the SoA-vs-AoS ablation benchmark compares against.
+
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/column_store.h"
 #include "geometry/region.h"
 #include "index/rtree.h"
 
@@ -34,9 +43,11 @@ struct RSkybandResult {
 };
 
 /// Computes the r-skyband of `data` w.r.t. region `r` and parameter `k`.
+/// `cols`, when non-null, must mirror `data` row-for-row (stable ids).
 RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
-                               QueryStats* stats = nullptr);
+                               QueryStats* stats = nullptr,
+                               const ColumnStore* cols = nullptr);
 
 /// As above, with external `pruners`: records pre-confirmed for pruning
 /// only — r-dominators found among them count toward the k threshold (for
@@ -49,7 +60,8 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
 RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
                                const std::vector<Record>& pruners,
-                               QueryStats* stats = nullptr);
+                               QueryStats* stats = nullptr,
+                               const ColumnStore* cols = nullptr);
 
 /// The filtering step over an explicit candidate pool: `pool` record ids act
 /// as both the candidates and the only competitors — no R-tree involved.
@@ -64,7 +76,8 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
 RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
                                        std::vector<int32_t> pool,
                                        const ConvexRegion& r, int k,
-                                       QueryStats* stats = nullptr);
+                                       QueryStats* stats = nullptr,
+                                       const ColumnStore* cols = nullptr);
 
 /// Brute-force oracle (O(n^2) r-dominance tests), for tests.
 std::vector<int32_t> RSkybandBruteForce(const Dataset& data,

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 
+#include "exec/kernels.h"
 #include "skyline/dominance.h"
 
 namespace utk {
@@ -24,15 +25,17 @@ Scalar SumCoords(const Vec& v) {
 }  // namespace
 
 std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
-                              QueryStats* stats) {
+                              QueryStats* stats, const ColumnStore* cols) {
   std::vector<int32_t> band;
   if (tree.empty()) return band;
+  const bool soa = cols != nullptr && !cols->empty();
 
   std::priority_queue<HeapEntry> heap;
   heap.push({SumCoords(tree.node(tree.root()).mbb.TopCorner()), false,
              tree.root()});
 
   auto dominated_count_reaches_k = [&](const Vec& v) {
+    if (soa) return CountDominatorsOfPoint(*cols, band, v, k, kEps) >= k;
     int count = 0;
     for (int32_t id : band) {
       if (Dominates(data[id].attrs, v) && ++count >= k) return true;
@@ -63,15 +66,18 @@ std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
 }
 
 std::vector<int32_t> KSkybandBruteForce(const Dataset& data, int k) {
+  // One batched many-vs-many sweep; membership is count < k, and the
+  // kernel caps at k, so the cap never changes the verdict. The kernel
+  // itself is differentially pinned against the scalar Dominates() loop in
+  // tests/test_exec.cc, keeping this oracle independent of the BBS path.
+  ColumnStore cols(data);
+  std::vector<int32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<int32_t> counts(data.size());
+  DominatedCounts(cols, all, all, k, kEps, counts.data());
   std::vector<int32_t> band;
-  for (const Record& p : data) {
-    int count = 0;
-    for (const Record& q : data) {
-      if (q.id == p.id) continue;
-      if (Dominates(q.attrs, p.attrs)) ++count;
-    }
-    if (count < k) band.push_back(p.id);
-  }
+  for (size_t i = 0; i < data.size(); ++i)
+    if (counts[i] < k) band.push_back(data[i].id);
   return band;
 }
 

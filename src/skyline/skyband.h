@@ -11,14 +11,20 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "exec/column_store.h"
 #include "index/rtree.h"
 
 namespace utk {
 
 /// Computes the k-skyband of `data` using BBS over `tree`.
-/// Returns record ids in the order BBS confirmed them.
+/// Returns record ids in the order BBS confirmed them. `cols`, when
+/// non-null, must mirror `data`; the dominated-count probes then run the
+/// batched CountDominatorsOfPoint kernel over the confirmed members
+/// (bit-identical either way). Heap keys stay scalar — SumCoords per
+/// popped entry is not a hot loop.
 std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
-                              QueryStats* stats = nullptr);
+                              QueryStats* stats = nullptr,
+                              const ColumnStore* cols = nullptr);
 
 /// Brute-force k-skyband (O(n^2)), used as a test oracle.
 std::vector<int32_t> KSkybandBruteForce(const Dataset& data, int k);

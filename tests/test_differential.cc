@@ -7,6 +7,7 @@
 //   Engine == Server cold (miss) == Server warm (exact hit, byte-equal)
 //   Engine == Server warm on a contained sub-region (semantic hit)
 //   Engine == LiveEngine after replaying the same records as inserts
+//   SoA columnar filter/top-k == AoS scalar path (bit-for-bit, per draw)
 //
 // UTK1 answers must be byte-identical. UTK2 answers are compared as the
 // partition they describe — same record union, same distinct top-k set
@@ -31,8 +32,10 @@
 #include "data/generator.h"
 #include "data/workload.h"
 #include "dist/partitioned_engine.h"
+#include "exec/kernels.h"
 #include "live/live_engine.h"
 #include "serve/server.h"
+#include "skyline/rskyband.h"
 
 namespace utk {
 namespace {
@@ -124,6 +127,30 @@ TEST(Differential, AllExecutionPathsAgree) {
     ASSERT_TRUE(want.ok) << want.error;
     ASSERT_FALSE(want.ids.empty());
 
+    // --- Columnar data plane vs AoS, same draw ------------------------
+    // The engines above all executed through the SoA ColumnStore path;
+    // pin it against the AoS path explicitly: the r-skyband filter with
+    // and without the store must agree on members AND dominator arcs, and
+    // the fused top-k scan kernel must reproduce the R-tree top-k.
+    {
+      RSkybandResult aos = ComputeRSkyband(engine->data(), engine->tree(),
+                                           d.region, d.k);
+      RSkybandResult soa =
+          ComputeRSkyband(engine->data(), engine->tree(), d.region, d.k,
+                          nullptr, &engine->cols());
+      EXPECT_EQ(soa.ids, aos.ids);
+      EXPECT_EQ(soa.dominators, aos.dominators);
+      RSkybandResult aos_pool = ComputeRSkybandFromPool(
+          engine->data(), aos.ids, d.region, d.k);
+      RSkybandResult soa_pool = ComputeRSkybandFromPool(
+          engine->data(), aos.ids, d.region, d.k, nullptr, &engine->cols());
+      EXPECT_EQ(soa_pool.ids, aos_pool.ids);
+      EXPECT_EQ(soa_pool.dominators, aos_pool.dominators);
+      const Vec pivot = *d.region.Pivot();
+      EXPECT_EQ(TopKScan(engine->cols(), pivot, d.k),
+                engine->TopK(pivot, d.k));
+    }
+
     // --- Engine(rsa) vs Engine(jaa union) -----------------------------
     if (d.mode == QueryMode::kUtk1) {
       QuerySpec jaa = spec;
@@ -194,6 +221,12 @@ TEST(Differential, AllExecutionPathsAgree) {
       inserts[r].record.id = -1;  // sequential assignment recreates the ids
     }
     ASSERT_EQ(live.ApplyBatch(inserts), static_cast<int>(data.size()));
+    // The incrementally maintained SoA mirror must be in lockstep with the
+    // replayed catalog, bit for bit.
+    ASSERT_EQ(live.cols().size(), static_cast<int32_t>(data.size()));
+    for (int32_t row = 0; row < live.cols().size(); ++row)
+      for (int dd = 0; dd < live.cols().dim(); ++dd)
+        ASSERT_EQ(live.cols().at(row, dd), live.data()[row].attrs[dd]);
     QueryResult via_live = live.Run(spec);
     ASSERT_TRUE(via_live.ok) << via_live.error;
     if (d.mode == QueryMode::kUtk1) {

@@ -105,6 +105,75 @@ TEST(LpFuzz, RandomBounded2dProgramsMatchVertexEnumeration) {
   EXPECT_GT(infeasible_seen, 5);
 }
 
+TEST(LpFuzz, DegenerateAndDuplicateConstraintsMatchVertexEnumeration) {
+  // Stress the ratio test's tie handling: constraint sets deliberately
+  // full of exact duplicates, scaled copies (same hyperplane, different
+  // normal length), and constraints through a common vertex. These make
+  // many rows tie in the ratio test within kPivotEps; the tie-break must
+  // never drift the incumbent ratio upward (the bug this guards against
+  // picked a row whose ratio was *larger* than the incumbent and
+  // overwrote best_ratio with it, walking the basis out of the feasible
+  // region on degenerate instances).
+  Rng rng(3030);
+  int feasible_seen = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Halfspace> cons;
+    const int m = rng.UniformInt(2, 5);
+    for (int i = 0; i < m; ++i) {
+      Halfspace h;
+      h.a = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (std::fabs(h.a[0]) + std::fabs(h.a[1]) < 1e-3) h.a[0] = 1.0;
+      h.b = rng.Uniform(-0.3, 1.0);
+      cons.push_back(h);
+      // Exact duplicate of every constraint.
+      cons.push_back(h);
+      // Scaled copy: same half-plane, different row scaling, so its ratio
+      // ties the original's without being bit-identical.
+      const Scalar s = rng.Uniform(0.5, 3.0);
+      Halfspace scaled;
+      scaled.a = {h.a[0] * s, h.a[1] * s};
+      scaled.b = h.b * s;
+      cons.push_back(scaled);
+    }
+    // A pencil of constraints through one vertex: at that vertex every one
+    // of them is tight simultaneously (maximal degeneracy).
+    const Vec apex = {rng.Uniform(-0.5, 0.5), rng.Uniform(-0.5, 0.5)};
+    for (int i = 0; i < 3; ++i) {
+      Halfspace h;
+      h.a = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (std::fabs(h.a[0]) + std::fabs(h.a[1]) < 1e-3) h.a[1] = 1.0;
+      h.b = h.a[0] * apex[0] + h.a[1] * apex[1];  // tight at the apex
+      cons.push_back(h);
+    }
+    const Vec c = {rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    constexpr Scalar kBox = 4.0;
+    Reference2d ref = SolveByVertexEnumeration(c, cons, kBox);
+
+    std::vector<Halfspace> with_box = cons;
+    for (int i = 0; i < 2; ++i) {
+      Halfspace up, down;
+      up.a = {i == 0 ? 1.0 : 0.0, i == 1 ? 1.0 : 0.0};
+      up.b = kBox;
+      down.a = {i == 0 ? -1.0 : 0.0, i == 1 ? -1.0 : 0.0};
+      down.b = kBox;
+      with_box.push_back(up);
+      with_box.push_back(down);
+    }
+    LpResult got = SolveLp(c, with_box);
+
+    if (ref.feasible) {
+      ++feasible_seen;
+      ASSERT_EQ(got.status, LpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(got.objective, ref.best, 1e-5) << "trial " << trial;
+      for (const Halfspace& h : with_box)
+        EXPECT_GE(h.Slack(got.x), -1e-6) << "trial " << trial;
+    } else {
+      EXPECT_EQ(got.status, LpStatus::kInfeasible) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(feasible_seen, 100);
+}
+
 TEST(LpFuzz, MinimizeAgreesWithNegatedMaximize) {
   Rng rng(2025);
   for (int trial = 0; trial < 100; ++trial) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "data/generator.h"
 
 namespace utk {
@@ -163,6 +166,75 @@ TEST(RTree, EraseToEmptyResetsAndReinsertWorks) {
   std::set<int32_t> ids;
   CollectRecords(tree, tree.root(), &ids);
   EXPECT_EQ(ids, std::set<int32_t>{7});
+}
+
+TEST(RTree, InvariantsHoldAfterBulkLoad) {
+  for (int dim : {2, 4, 7}) {
+    Dataset data = Generate(Distribution::kAnticorrelated, 900, dim, 31);
+    RTree tree = RTree::BulkLoad(data);
+    std::string why;
+    EXPECT_TRUE(tree.CheckInvariants(data, &why)) << why;
+  }
+}
+
+// Randomized insert/erase storms: interleave bursts of dynamic inserts,
+// erases, and revivals, validating the full invariant set (exact MBB
+// hulls, free-list/reachable partition, fanout, uniform depth, record
+// counts) after every burst. This is the workload shape the live engine
+// (src/live/) drives the tree with.
+TEST(RTree, InvariantsSurviveInsertEraseStorms) {
+  for (uint64_t seed : {7ull, 8ull, 9ull}) {
+    Rng rng(seed);
+    const int n = 600;
+    Dataset data = Generate(Distribution::kIndependent, n, 3, 1000 + seed);
+    RTree tree;
+    std::vector<char> in_tree(n, 0);
+    std::vector<int32_t> present;  // ids currently indexed
+
+    // Seed with a bulk-loaded half so erases hit packed STR nodes too.
+    Dataset half(data.begin(), data.begin() + n / 2);
+    tree = RTree::BulkLoad(half);
+    for (int32_t id = 0; id < n / 2; ++id) {
+      in_tree[id] = 1;
+      present.push_back(id);
+    }
+
+    for (int burst = 0; burst < 30; ++burst) {
+      const int ops = rng.UniformInt(10, 40);
+      for (int op = 0; op < ops; ++op) {
+        const bool do_erase = !present.empty() && rng.UniformInt(0, 2) == 0;
+        if (do_erase) {
+          const int pick = rng.UniformInt(0, static_cast<int>(present.size()) - 1);
+          const int32_t id = present[pick];
+          ASSERT_TRUE(tree.Erase(data, id));
+          in_tree[id] = 0;
+          present[pick] = present.back();
+          present.pop_back();
+        } else {
+          const int32_t id = rng.UniformInt(0, n - 1);
+          if (in_tree[id]) continue;  // already indexed
+          tree.Insert(data, id);
+          in_tree[id] = 1;
+          present.push_back(id);
+        }
+      }
+      std::string why;
+      ASSERT_TRUE(tree.CheckInvariants(data, &why))
+          << "seed " << seed << " burst " << burst << ": " << why;
+      ASSERT_EQ(tree.num_records(), static_cast<int64_t>(present.size()));
+    }
+
+    // Drain to empty; the tree must reset completely, then accept reuse.
+    while (!present.empty()) {
+      ASSERT_TRUE(tree.Erase(data, present.back()));
+      present.pop_back();
+    }
+    EXPECT_TRUE(tree.empty());
+    std::string why;
+    EXPECT_TRUE(tree.CheckInvariants(data, &why)) << why;
+    tree.Insert(data, 0);
+    EXPECT_TRUE(tree.CheckInvariants(data, &why)) << why;
+  }
 }
 
 TEST(RTree, HeightGrowsLogarithmically) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the columnar data plane.
+
+Reads a google-benchmark JSON report (BENCH_bench_ablation.json, emitted by
+any bench binary when UTK_BENCH_JSON_DIR is set) and compares the SoA-vs-AoS
+speedup of each kernel pair against the checked-in baseline
+(bench/baselines/bench_ablation.json). The gate is ratio-based on purpose:
+absolute throughput varies wildly across CI runners, but the AoS and SoA
+variants run back to back on the same machine in the same process, so their
+ratio is stable. A pair fails when its measured speedup falls more than
+TOLERANCE below the baseline speedup — i.e. the SoA kernel's relative
+throughput regressed by > 20%.
+
+Usage: check_bench.py <report.json> <baseline.json>
+Exit status: 0 all pairs within tolerance, 1 regression or missing data.
+
+Stdlib only — no pip dependencies.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.20  # fail when speedup < (1 - TOLERANCE) * baseline speedup
+
+
+def real_times(report):
+    """name -> real_time for plain (non-aggregate) benchmark entries."""
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") == "iteration":
+            out[b["name"]] = float(b["real_time"])
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 1
+    with open(argv[1]) as f:
+        times = real_times(json.load(f))
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = 0
+    for pair in baseline["pairs"]:
+        aos, soa = pair["aos"], pair["soa"]
+        want = float(pair["baseline_speedup"])
+        if aos not in times or soa not in times:
+            print(f"FAIL {pair['name']}: report is missing {aos} or {soa}")
+            failures += 1
+            continue
+        got = times[aos] / times[soa]
+        floor = (1.0 - TOLERANCE) * want
+        verdict = "ok" if got >= floor else "FAIL"
+        print(
+            f"{verdict} {pair['name']}: speedup {got:.2f}x "
+            f"(baseline {want:.2f}x, floor {floor:.2f}x)"
+        )
+        if got < floor:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
