@@ -72,8 +72,12 @@ class QueryEngine {
   /// serve/result_cache.h).
   virtual uint64_t epoch() const { return 0; }
 
-  int64_t size() const { return static_cast<int64_t>(data().size()); }
-  int dim() const { return DataDim(data()); }
+  /// Catalog cardinality / dimensionality. Virtual with data()-derived
+  /// defaults: the mmap-backed engine (src/storage/mapped_engine.h) answers
+  /// them from segment metadata so Validate/Plan never force the lazy
+  /// dataset to materialize.
+  virtual int64_t size() const { return static_cast<int64_t>(data().size()); }
+  virtual int dim() const { return DataDim(data()); }
   int pref_dim() const { return PrefDim(dim()); }
 };
 

@@ -1,0 +1,31 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace utk {
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320 (IEEE), built once.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* bytes, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace utk

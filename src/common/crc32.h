@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for the persistence tier.
+//
+// Every block the storage subsystem writes — segment columns, R-tree pages,
+// WAL frames, manifest bodies — carries a CRC32 so corruption is detected
+// and rejected instead of silently served (see src/storage/). The
+// implementation is the standard byte-wise table walk; throughput is far
+// above what the storage tier needs (checksums are a rounding error next
+// to the fsyncs around them).
+#ifndef UTK_COMMON_CRC32_H_
+#define UTK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace utk {
+
+/// CRC32 of `len` bytes starting at `bytes`, seeded with `seed` (pass a
+/// previous call's result to checksum discontiguous buffers as one stream).
+/// The empty buffer maps to the seed itself; Crc32("") == 0.
+uint32_t Crc32(const void* bytes, size_t len, uint32_t seed = 0);
+
+}  // namespace utk
+
+#endif  // UTK_COMMON_CRC32_H_

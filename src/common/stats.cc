@@ -13,8 +13,9 @@ namespace {
 constexpr const char* kCsvHeader =
     "candidates,lp_calls,rdom_tests,cells_created,halfspaces_inserted,"
     "drills,verify_calls,heap_pops,peak_bytes,cache_hits,cache_semantic_hits,"
-    "cache_misses,cache_evictions,epoch,elapsed_ms";
-constexpr int kCsvFields = 15;
+    "cache_misses,cache_evictions,epoch,rows_materialized,mapped_bytes,"
+    "elapsed_ms";
+constexpr int kCsvFields = 17;
 
 std::vector<int64_t QueryStats::*> CounterFields() {
   return {&QueryStats::candidates,
@@ -30,7 +31,9 @@ std::vector<int64_t QueryStats::*> CounterFields() {
           &QueryStats::cache_semantic_hits,
           &QueryStats::cache_misses,
           &QueryStats::cache_evictions,
-          &QueryStats::epoch};
+          &QueryStats::epoch,
+          &QueryStats::rows_materialized,
+          &QueryStats::mapped_bytes};
 }
 
 }  // namespace
@@ -50,6 +53,8 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   cache_misses += o.cache_misses;
   cache_evictions += o.cache_evictions;
   epoch = std::max(epoch, o.epoch);
+  rows_materialized += o.rows_materialized;
+  mapped_bytes = std::max(mapped_bytes, o.mapped_bytes);
   elapsed_ms += o.elapsed_ms;
   return *this;
 }
@@ -70,7 +75,8 @@ std::string QueryStats::ToString() const {
      << " cache_semantic_hits=" << cache_semantic_hits
      << " cache_misses=" << cache_misses
      << " cache_evictions=" << cache_evictions << " epoch=" << epoch
-     << " elapsed_ms=" << elapsed_ms;
+     << " rows_materialized=" << rows_materialized
+     << " mapped_bytes=" << mapped_bytes << " elapsed_ms=" << elapsed_ms;
   return os.str();
 }
 

@@ -37,6 +37,12 @@ struct QueryStats {
   /// immutable engines, the number of committed update batches for a live
   /// engine (src/live/). A gauge, not a counter — Merge takes the max.
   int64_t epoch = 0;
+  // Persistence counters (src/storage): zero everywhere except queries
+  // served by a MappedEngine over an mmap'd segment.
+  int64_t rows_materialized = 0;  ///< AoS rows gathered from mapped columns
+  /// Bytes of segment file the engine serves zero-copy (mmap'd columns +
+  /// liveness bitmap). A gauge like peak_bytes — Merge takes the max.
+  int64_t mapped_bytes = 0;
   double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
 
   QueryStats& operator+=(const QueryStats& o);

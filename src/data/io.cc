@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/serial.h"
+
 namespace utk {
 
 namespace {
@@ -63,12 +65,19 @@ bool SaveCsvFile(const Dataset& data, const std::string& path,
   return f.good();
 }
 
-std::optional<Dataset> LoadCsv(std::istream& is) {
+std::optional<Dataset> LoadCsv(std::istream& is, std::string* error) {
+  auto fail = [&](int line_no, const std::string& why) -> std::optional<Dataset> {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    return std::nullopt;
+  };
   Dataset data;
   std::string line;
   int expected_width = -1;
+  int line_no = 0;
   bool first_content_line = true;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
     Vec attrs;
@@ -87,27 +96,39 @@ std::optional<Dataset> LoadCsv(std::istream& is) {
         first_content_line = false;  // header
         continue;
       }
-      return std::nullopt;  // non-numeric data row
+      return fail(line_no, "non-numeric data row");
     }
+    // "nan"/"inf" parse as numbers; the shared ingest policy rejects them
+    // here so downstream zonemaps / dominance tests never see them.
+    if (auto bad = CheckFiniteAttrs(attrs)) return fail(line_no, *bad);
     first_content_line = false;
     if (expected_width < 0) {
       expected_width = static_cast<int>(attrs.size());
     } else if (static_cast<int>(attrs.size()) != expected_width) {
-      return std::nullopt;  // ragged row
+      return fail(line_no, "ragged row: expected " +
+                               std::to_string(expected_width) + " fields, got " +
+                               std::to_string(attrs.size()));
     }
     Record r;
     r.id = static_cast<int32_t>(data.size());
     r.attrs = std::move(attrs);
     data.push_back(std::move(r));
   }
-  if (data.empty()) return std::nullopt;
+  if (data.empty()) {
+    if (error != nullptr) *error = "no data rows";
+    return std::nullopt;
+  }
   return data;
 }
 
-std::optional<Dataset> LoadCsvFile(const std::string& path) {
+std::optional<Dataset> LoadCsvFile(const std::string& path,
+                                   std::string* error) {
   std::ifstream f(path);
-  if (!f.is_open()) return std::nullopt;
-  return LoadCsv(f);
+  if (!f.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return LoadCsv(f, error);
 }
 
 }  // namespace utk

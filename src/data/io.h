@@ -2,6 +2,12 @@
 // persist generated workloads. Format: one record per line, attributes
 // comma-separated, optional header line (auto-detected on load); record ids
 // are assigned by line order.
+//
+// Numeric policy: attribute values must be finite. "nan"/"inf" tokens parse
+// as numbers but are rejected with a clear diagnostic — the same
+// common/serial.h CheckFiniteAttrs rule the storage tier's SegmentWriter
+// enforces, so no ingest path can smuggle a NaN into zonemaps or dominance
+// tests.
 #ifndef UTK_DATA_IO_H_
 #define UTK_DATA_IO_H_
 
@@ -21,9 +27,11 @@ bool SaveCsvFile(const Dataset& data, const std::string& path,
 
 /// Parses CSV into a dataset. Skips blank lines; a first line containing any
 /// non-numeric field is treated as a header. Returns nullopt on malformed
-/// input (ragged rows, non-numeric data rows, no rows).
-std::optional<Dataset> LoadCsv(std::istream& is);
-std::optional<Dataset> LoadCsvFile(const std::string& path);
+/// input (ragged rows, non-numeric or non-finite data values, no rows),
+/// with a line-numbered diagnostic in `error` when provided.
+std::optional<Dataset> LoadCsv(std::istream& is, std::string* error = nullptr);
+std::optional<Dataset> LoadCsvFile(const std::string& path,
+                                   std::string* error = nullptr);
 
 }  // namespace utk
 

@@ -28,7 +28,18 @@ ColumnStore::ColumnStore(const Dataset& data, std::span<const int32_t> ids) {
   }
 }
 
+ColumnStore ColumnStore::Borrow(std::vector<const Scalar*> cols, int dim,
+                                int32_t n) {
+  assert(static_cast<int>(cols.size()) == dim);
+  ColumnStore cs;
+  cs.dim_ = dim;
+  cs.n_ = n;
+  cs.borrowed_ = std::move(cols);
+  return cs;
+}
+
 void ColumnStore::SetRow(int32_t row, const Vec& attrs) {
+  assert(borrowed_.empty() && "borrowed ColumnStore views are read-only");
   if (dim_ == 0) {
     dim_ = static_cast<int>(attrs.size());
     cols_.resize(dim_);
@@ -47,6 +58,7 @@ void ColumnStore::Clear() {
   dim_ = 0;
   n_ = 0;
   cols_.clear();
+  borrowed_.clear();
 }
 
 }  // namespace utk

@@ -44,18 +44,33 @@ class ColumnStore {
   /// refinement.
   ColumnStore(const Dataset& data, std::span<const int32_t> ids);
 
+  /// Borrowed zero-copy view: column d aliases cols[d], an external
+  /// contiguous array of `n` Scalars the caller keeps alive and immutable
+  /// for the view's lifetime. The storage tier builds these directly over
+  /// the column blocks of an mmap'd segment, so a cold open serves batched
+  /// kernels without copying a byte. Borrowed stores are read-only: SetRow
+  /// asserts, Clear() drops the borrow.
+  static ColumnStore Borrow(std::vector<const Scalar*> cols, int dim,
+                            int32_t n);
+
+  /// True when the columns alias external memory (see Borrow).
+  bool borrowed() const { return !borrowed_.empty(); }
+
   int dim() const { return dim_; }
   int32_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
 
   /// Contiguous column d (length size()).
-  const Scalar* col(int d) const { return cols_[d].data(); }
-  Scalar at(int32_t row, int d) const { return cols_[d][row]; }
+  const Scalar* col(int d) const {
+    return borrowed_.empty() ? cols_[d].data() : borrowed_[d];
+  }
+  Scalar at(int32_t row, int d) const { return col(d)[row]; }
 
   /// Writes `attrs` at `row`, growing the store by exactly one row when
   /// row == size(). First write on an empty store fixes dim(). This is the
   /// live-update maintenance hook: inserts append or overwrite tombstoned
-  /// rows in O(dim) without touching the other columns' prefixes.
+  /// rows in O(dim) without touching the other columns' prefixes. Owned
+  /// stores only — a borrowed view's memory belongs to the segment.
   void SetRow(int32_t row, const Vec& attrs);
 
   void Clear();
@@ -64,6 +79,7 @@ class ColumnStore {
   int dim_ = 0;
   int32_t n_ = 0;
   std::vector<std::vector<Scalar>> cols_;  ///< one contiguous array per dim
+  std::vector<const Scalar*> borrowed_;    ///< non-empty in borrowed mode
 };
 
 }  // namespace utk

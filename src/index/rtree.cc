@@ -8,6 +8,8 @@
 #include <set>
 #include <string>
 
+#include "common/serial.h"
+
 namespace utk {
 
 void Mbb::Expand(const Vec& v) {
@@ -71,13 +73,24 @@ void StrTile(std::vector<int32_t>& items, int begin, int end, int dim,
 }  // namespace
 
 RTree RTree::BulkLoad(const Dataset& data) {
-  RTree tree;
-  if (data.empty()) return tree;
-  const int dim = DataDim(data);
-
-  // Level 0: pack records into leaves.
   std::vector<int32_t> items(data.size());
   std::iota(items.begin(), items.end(), 0);
+  return BulkLoadItems(data, std::move(items));
+}
+
+RTree RTree::BulkLoad(const Dataset& data, const std::vector<char>& alive) {
+  std::vector<int32_t> items;
+  items.reserve(data.size());
+  for (size_t i = 0; i < data.size() && i < alive.size(); ++i)
+    if (alive[i] != 0) items.push_back(static_cast<int32_t>(i));
+  return BulkLoadItems(data, std::move(items));
+}
+
+RTree RTree::BulkLoadItems(const Dataset& data, std::vector<int32_t> items) {
+  RTree tree;
+  if (items.empty()) return tree;
+  const int dim = DataDim(data);
+
   std::vector<std::pair<int, int>> groups;
   auto rec_coord = [&](int32_t idx, int d2) { return data[idx].attrs[d2]; };
   StrTile(items, 0, static_cast<int>(items.size()), 0, dim, kFanout, rec_coord,
@@ -125,7 +138,7 @@ RTree RTree::BulkLoad(const Dataset& data) {
     ++tree.height_;
   }
   tree.root_ = level.front();
-  tree.num_records_ = static_cast<int64_t>(data.size());
+  tree.num_records_ = static_cast<int64_t>(items.size());
   return tree;
 }
 
@@ -418,6 +431,116 @@ bool RTree::Erase(const Dataset& data, int32_t id) {
     root_ = only;
     --height_;
   }
+}
+
+// ------------------------------------------------------- page (de)serialization
+
+namespace {
+
+// Per-slot tags: free-listed slots persist as a bare marker so stale node
+// content never reaches disk and reloads as a default-constructed node.
+constexpr uint8_t kSlotFree = 0;
+constexpr uint8_t kSlotLeaf = 1;
+constexpr uint8_t kSlotInternal = 2;
+
+}  // namespace
+
+void RTree::AppendPages(std::string* out) const {
+  AppendU32(out, static_cast<uint32_t>(nodes_.size()));
+  AppendU32(out, static_cast<uint32_t>(free_.size()));
+  AppendI32(out, root_);
+  AppendU32(out, static_cast<uint32_t>(height_));
+  AppendI64(out, num_records_);
+
+  std::vector<char> is_free(nodes_.size(), 0);
+  for (int32_t f : free_)
+    if (f >= 0 && f < static_cast<int32_t>(nodes_.size())) is_free[f] = 1;
+
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_free[i]) {
+      AppendU8(out, kSlotFree);
+      continue;
+    }
+    const RTreeNode& node = nodes_[i];
+    AppendU8(out, node.is_leaf ? kSlotLeaf : kSlotInternal);
+    AppendU32(out, static_cast<uint32_t>(node.mbb.lo.size()));
+    for (Scalar v : node.mbb.lo) AppendScalar(out, v);
+    for (Scalar v : node.mbb.hi) AppendScalar(out, v);
+    const std::vector<int32_t>& kids =
+        node.is_leaf ? node.record_ids : node.entries;
+    AppendU32(out, static_cast<uint32_t>(kids.size()));
+    for (int32_t kid : kids) AppendI32(out, kid);
+  }
+  for (int32_t f : free_) AppendI32(out, f);
+}
+
+std::optional<RTree> RTree::FromPages(const char* bytes, size_t len) {
+  size_t cur = 0;
+  auto node_count = ReadU32(bytes, len, &cur);
+  auto free_count = ReadU32(bytes, len, &cur);
+  auto root = ReadI32(bytes, len, &cur);
+  auto height = ReadU32(bytes, len, &cur);
+  auto num_records = ReadI64(bytes, len, &cur);
+  if (!node_count || !free_count || !root || !height || !num_records)
+    return std::nullopt;
+  // Sanity bounds: a node is at least one tag byte, so node_count cannot
+  // exceed the remaining bytes (rejects absurd counts before allocating).
+  if (*node_count > len - cur || *free_count > len ||
+      *num_records < 0)
+    return std::nullopt;
+
+  RTree tree;
+  tree.nodes_.resize(*node_count);
+  tree.root_ = *root;
+  tree.height_ = static_cast<int>(*height);
+  tree.num_records_ = *num_records;
+
+  const int32_t n = static_cast<int32_t>(*node_count);
+  if ((n == 0) != (tree.root_ == -1)) return std::nullopt;
+  if (tree.root_ != -1 && (tree.root_ < 0 || tree.root_ >= n))
+    return std::nullopt;
+
+  for (int32_t i = 0; i < n; ++i) {
+    auto tag = ReadU8(bytes, len, &cur);
+    if (!tag) return std::nullopt;
+    if (*tag == kSlotFree) continue;
+    if (*tag != kSlotLeaf && *tag != kSlotInternal) return std::nullopt;
+    RTreeNode& node = tree.nodes_[i];
+    node.is_leaf = *tag == kSlotLeaf;
+    auto dim = ReadU32(bytes, len, &cur);
+    if (!dim || *dim == 0 || *dim > 1024) return std::nullopt;
+    node.mbb.lo.resize(*dim);
+    node.mbb.hi.resize(*dim);
+    for (Scalar& v : node.mbb.lo) {
+      auto s = ReadScalar(bytes, len, &cur);
+      if (!s) return std::nullopt;
+      v = *s;
+    }
+    for (Scalar& v : node.mbb.hi) {
+      auto s = ReadScalar(bytes, len, &cur);
+      if (!s) return std::nullopt;
+      v = *s;
+    }
+    auto kid_count = ReadU32(bytes, len, &cur);
+    if (!kid_count || *kid_count == 0 || *kid_count > kFanout)
+      return std::nullopt;  // reachable nodes always hold 1..kFanout entries
+    std::vector<int32_t>& kids = node.is_leaf ? node.record_ids : node.entries;
+    kids.resize(*kid_count);
+    for (int32_t& kid : kids) {
+      auto v = ReadI32(bytes, len, &cur);
+      if (!v || *v < 0) return std::nullopt;
+      if (!node.is_leaf && *v >= n) return std::nullopt;
+      kid = *v;
+    }
+  }
+  tree.free_.resize(*free_count);
+  for (int32_t& f : tree.free_) {
+    auto v = ReadI32(bytes, len, &cur);
+    if (!v || *v < 0 || *v >= n) return std::nullopt;
+    f = *v;
+  }
+  if (cur != len) return std::nullopt;  // trailing garbage is corruption
+  return tree;
 }
 
 }  // namespace utk

@@ -9,6 +9,7 @@
 #define UTK_INDEX_RTREE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,23 @@ class RTree {
   /// STR bulk load over the dataset. Records keep their ids.
   static RTree BulkLoad(const Dataset& data);
 
+  /// STR bulk load over only the records with alive[id] != 0. The storage
+  /// tier's recovery path uses this: a reopened live catalog keeps
+  /// tombstoned slots (attributes intact, stable ids) but must exclude
+  /// them from every index, exactly like LiveEngine does incrementally.
+  static RTree BulkLoad(const Dataset& data, const std::vector<char>& alive);
+
+  /// Appends the complete tree state (nodes, free list, root, height,
+  /// record count) to `out` as little-endian pages — the serialized R-tree
+  /// block of a storage segment (src/storage/segment.cc frames and
+  /// checksums it). FromPages reverses it bit-for-bit: the deserialized
+  /// tree traverses, inserts, and erases identically to the original,
+  /// including free-slot reuse order. Returns nullopt on truncated or
+  /// structurally nonsensical bytes (the caller has already verified the
+  /// block checksum; this guards the format itself).
+  void AppendPages(std::string* out) const;
+  static std::optional<RTree> FromPages(const char* bytes, size_t len);
+
   /// Inserts record `data[id]` (classic dynamic insert: least-enlargement
   /// descent, deterministic widest-axis split on overflow, root growth on a
   /// root split). `data` must already hold the record at index `id`. The
@@ -97,6 +115,9 @@ class RTree {
                        std::string* error = nullptr) const;
 
  private:
+  /// Shared STR packing core behind both BulkLoad overloads: loads exactly
+  /// the records named by `items` (indices into `data`, ids preserved).
+  static RTree BulkLoadItems(const Dataset& data, std::vector<int32_t> items);
   /// Takes a node slot from the free list (or grows the vector).
   int32_t Alloc(RTreeNode node);
   /// Splits overflowing `node_id` along its widest axis; returns the new

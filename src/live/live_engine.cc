@@ -49,6 +49,25 @@ LiveEngine::LiveEngine(Dataset data, LiveConfig config)
   band_.Rebuild(data_, tree_);
 }
 
+LiveEngine::LiveEngine(Dataset data, std::vector<char> alive, RTree tree,
+                       uint64_t epoch, LiveConfig config)
+    : config_(config),
+      data_(std::move(data)),
+      alive_(std::move(alive)),
+      tree_(std::move(tree)),
+      cols_(data_),
+      band_(std::max(config.band_k, 1), config.band_slack) {
+  assert(alive_.size() == data_.size());
+  int64_t live = 0;
+  for (char a : alive_) live += a ? 1 : 0;
+  assert(tree_.num_records() == live);
+  live_.store(live, std::memory_order_relaxed);
+  epoch_.store(epoch, std::memory_order_relaxed);
+  // The band rebuild walks the tree, which indexes only alive records, so a
+  // recovered engine tracks exactly the band a never-restarted one would.
+  band_.Rebuild(data_, tree_);
+}
+
 LiveEngine::~LiveEngine() = default;
 
 // --------------------------------------------------------------- planning
@@ -239,6 +258,11 @@ int32_t LiveEngine::InsertLocked(Record rec, UpdateEvent* event) {
   live_.fetch_add(1, std::memory_order_release);
   inserts_.fetch_add(1, std::memory_order_relaxed);
   event->inserted.push_back(data_[id]);
+  UpdateOp op;
+  op.kind = UpdateKind::kInsert;
+  op.record = data_[id];  // assigned id recorded, so replay is id-exact
+  op.id = id;
+  event->ops.push_back(std::move(op));
   return id;
 }
 
@@ -255,6 +279,10 @@ bool LiveEngine::EraseLocked(int32_t id, UpdateEvent* event) {
   live_.fetch_sub(1, std::memory_order_release);
   erases_.fetch_add(1, std::memory_order_relaxed);
   event->erased.push_back(id);
+  UpdateOp op;
+  op.kind = UpdateKind::kErase;
+  op.id = id;
+  event->ops.push_back(std::move(op));
   return true;
 }
 
@@ -335,12 +363,38 @@ void LiveEngine::Commit(const UpdateEvent& event) {
   const uint64_t from = epoch_.load(std::memory_order_relaxed);
   const uint64_t to = from + 1;
   epoch_.store(to, std::memory_order_release);
+  // Durability first: the WAL records the batch before any reader can act
+  // on the new epoch through a cache sweep.
+  {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    if (!logs_.empty()) {
+      const CatalogView view{data_, alive_, tree_, to};
+      for (UpdateLog* log : logs_) log->OnCommit(event.ops, view);
+    }
+  }
   std::lock_guard<std::mutex> lock(caches_mu_);
   for (ResultCache* cache : caches_) {
     cache->ApplyInvalidation(from, to, [&](const CacheEntryView& view) {
       return CouldAffect(event, view);
     });
   }
+}
+
+void LiveEngine::AttachLog(UpdateLog* log) {
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  if (std::find(logs_.begin(), logs_.end(), log) == logs_.end())
+    logs_.push_back(log);
+}
+
+void LiveEngine::DetachLog(UpdateLog* log) {
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  logs_.erase(std::remove(logs_.begin(), logs_.end(), log), logs_.end());
+}
+
+void LiveEngine::WithSnapshot(
+    const std::function<void(const CatalogView&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  fn(CatalogView{data_, alive_, tree_, epoch()});
 }
 
 LiveCounters LiveEngine::counters() const {

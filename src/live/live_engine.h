@@ -42,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -69,6 +70,33 @@ struct LiveConfig {
   int band_slack = 16;
 };
 
+/// Read-only view of the complete catalog state, valid only for the duration
+/// of the call it is passed to (the references alias engine internals under
+/// the engine's lock). `data`/`alive` are id-addressed including tombstones;
+/// `tree` indexes exactly the alive records; `epoch` is the committed batch
+/// count the state corresponds to.
+struct CatalogView {
+  const Dataset& data;
+  const std::vector<char>& alive;
+  const RTree& tree;
+  uint64_t epoch = 0;
+};
+
+/// Durability hook: observes every committed update batch, synchronously,
+/// under the engine's exclusive lock. `ops` lists the batch's *applied*
+/// mutations in application order with their assigned ids (order matters:
+/// one batch may erase an id and then revive it), so replaying the stream
+/// through ApplyBatch on the view's predecessor state reproduces `view`
+/// exactly — this is the write-ahead-log contract src/storage/ builds on.
+/// OnCommit runs before the update call returns; it may read the view but
+/// must not call back into the engine (the exclusive lock is held).
+class UpdateLog {
+ public:
+  virtual ~UpdateLog() = default;
+  virtual void OnCommit(std::span<const UpdateOp> ops,
+                        const CatalogView& view) = 0;
+};
+
 /// Monotonic update-side counters (a consistent snapshot via counters()).
 struct LiveCounters {
   uint64_t epoch = 0;        ///< committed update batches
@@ -87,6 +115,16 @@ class LiveEngine final : public QueryEngine {
   /// Takes ownership of `data` (ids 0..n-1, the repo invariant) as epoch 0.
   /// An empty dataset is a valid start — build the catalog with Insert.
   explicit LiveEngine(Dataset data, LiveConfig config = {});
+
+  /// Recovery constructor (src/storage/catalog.cc): resumes a persisted
+  /// catalog mid-history. `data`/`alive` are the id-addressed state
+  /// including tombstones, `tree` must index exactly the alive records
+  /// (deserialized from a segment, or RTree::BulkLoad(data, alive)), and
+  /// `epoch` is the committed batch count the state was saved at — the
+  /// engine continues from there as if it had applied those batches itself.
+  LiveEngine(Dataset data, std::vector<char> alive, RTree tree,
+             uint64_t epoch, LiveConfig config = {});
+
   ~LiveEngine() override;
 
   LiveEngine(const LiveEngine&) = delete;
@@ -142,6 +180,22 @@ class LiveEngine final : public QueryEngine {
   void AttachCache(ResultCache* cache);
   void DetachCache(ResultCache* cache);
 
+  // --------------------------------------------------------- persistence
+  /// Registers `log` to observe every committed batch (see UpdateLog). The
+  /// log must stay alive until DetachLog. Updates committed before the
+  /// attach are not replayed — attach before mutating (the storage catalog
+  /// attaches its WAL right after recovery, while it holds the only
+  /// reference to the engine).
+  void AttachLog(UpdateLog* log);
+  void DetachLog(UpdateLog* log);
+
+  /// Runs `fn` over a consistent snapshot of the full catalog state, with
+  /// updates blocked for the duration (shared lock — concurrent queries
+  /// proceed). The storage tier's explicit compaction uses this to write a
+  /// segment + rotate the WAL atomically with respect to commits. `fn` must
+  /// not call the engine's update methods (self-deadlock on the lock).
+  void WithSnapshot(const std::function<void(const CatalogView&)>& fn) const;
+
   LiveCounters counters() const;
   const LiveConfig& config() const { return config_; }
 
@@ -149,6 +203,9 @@ class LiveEngine final : public QueryEngine {
   struct UpdateEvent {
     std::vector<Record> inserted;
     std::vector<int32_t> erased;
+    /// Applied mutations in application order, assigned ids filled in —
+    /// exactly what UpdateLog::OnCommit receives.
+    std::vector<UpdateOp> ops;
   };
 
   /// Lock-free cores of Plan/Validate for callers already under mu_.
@@ -189,6 +246,9 @@ class LiveEngine final : public QueryEngine {
 
   std::mutex caches_mu_;
   std::vector<ResultCache*> caches_;
+
+  std::mutex logs_mu_;
+  std::vector<UpdateLog*> logs_;
 
   mutable std::mutex compact_mu_;
   mutable std::shared_ptr<const Engine> compact_;

@@ -1,0 +1,211 @@
+#include "storage/mapped_engine.h"
+
+#include <utility>
+
+#include "core/jaa.h"
+#include "core/rsa.h"
+#include "core/topk.h"
+#include "skyline/rskyband.h"
+
+namespace utk {
+namespace {
+
+QueryResult Fail(const QuerySpec& spec, std::string why) {
+  QueryResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  r.mode = spec.mode;
+  r.algorithm = spec.algorithm;
+  return r;
+}
+
+/// Remaps sorted ascending ids through the monotonic compact -> stable map
+/// (monotonicity keeps the output sorted; same trick as LiveEngine).
+void MapIds(const std::vector<int32_t>& stable_ids,
+            std::vector<int32_t>* ids) {
+  for (int32_t& id : *ids) id = stable_ids[id];
+}
+
+}  // namespace
+
+std::unique_ptr<MappedEngine> MappedEngine::Open(const std::string& path,
+                                                 std::string* error) {
+  std::unique_ptr<SegmentReader> seg = SegmentReader::Open(path, error);
+  if (seg == nullptr) return nullptr;
+  std::unique_ptr<MappedEngine> e(new MappedEngine());
+  e->tree_ = seg->Tree();
+  e->cols_ = seg->Columns();
+  const int32_t n = seg->rows();
+  e->data_.resize(n);
+  for (int32_t i = 0; i < n; ++i) e->data_[i].id = i;
+  e->row_done_.assign(n, 0);
+  e->seg_ = std::move(seg);
+  // Row 0 anchors DataDim(data_) for the gather constructors downstream;
+  // every other row stays empty until a query proves it needs it.
+  if (n > 0) {
+    const int32_t zero = 0;
+    e->EnsureRows({&zero, 1});
+  }
+  return e;
+}
+
+void MappedEngine::EnsureRows(std::span<const int32_t> ids) const {
+  if (all_done_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mat_mu_);
+  int64_t gathered = 0;
+  const int d = seg_->dim();
+  for (int32_t id : ids) {
+    if (row_done_[id]) continue;
+    Vec& attrs = data_[id].attrs;
+    attrs.resize(d);
+    for (int c = 0; c < d; ++c) attrs[c] = seg_->col(c)[id];
+    row_done_[id] = 1;
+    ++gathered;
+  }
+  rows_materialized_.fetch_add(gathered, std::memory_order_relaxed);
+}
+
+void MappedEngine::EnsureAll() const {
+  if (all_done_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mat_mu_);
+  if (all_done_.load(std::memory_order_relaxed)) return;
+  int64_t gathered = 0;
+  const int d = seg_->dim();
+  for (int32_t id = 0; id < seg_->rows(); ++id) {
+    if (row_done_[id]) continue;
+    Vec& attrs = data_[id].attrs;
+    attrs.resize(d);
+    for (int c = 0; c < d; ++c) attrs[c] = seg_->col(c)[id];
+    row_done_[id] = 1;
+    ++gathered;
+  }
+  rows_materialized_.fetch_add(gathered, std::memory_order_relaxed);
+  all_done_.store(true, std::memory_order_release);
+}
+
+const Dataset& MappedEngine::data() const {
+  EnsureAll();
+  return data_;
+}
+
+Algorithm MappedEngine::Plan(const QuerySpec& spec) const {
+  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
+  // Plan against the LIVE count, exactly like the engine this segment was
+  // saved from would.
+  return ChooseAlgorithm(spec.mode, seg_->live(), pref_dim());
+}
+
+std::optional<std::string> MappedEngine::Validate(
+    const QuerySpec& spec) const {
+  // Mirrors Engine::Validate verbatim (same diagnostics either way).
+  if (seg_->live() == 0) return "engine holds an empty dataset";
+  if (spec.k < 1) return "k must be >= 1";
+  if (spec.region.dim() != pref_dim())
+    return "region has " + std::to_string(spec.region.dim()) +
+           " preference dims, dataset needs " + std::to_string(pref_dim());
+  if (!spec.region.HasInteriorPoint())
+    return "query region has empty interior";
+  const Algorithm algo = Plan(spec);
+  if (spec.mode == QueryMode::kUtk2 &&
+      (algo == Algorithm::kRsa || algo == Algorithm::kNaive))
+    return std::string(AlgorithmName(algo)) +
+           " answers UTK1 only; use JAA or a baseline for UTK2";
+  return std::nullopt;
+}
+
+QueryResult MappedEngine::RunBandPipeline(const QuerySpec& spec,
+                                          Algorithm algo) const {
+  Timer timer;
+  QueryResult r;
+  r.mode = spec.mode;
+  r.algorithm = algo;
+
+  // The box-region filter runs purely on the borrowed columns; a general
+  // convex region evaluates raw records in its LP tests, so gather first.
+  if (!spec.region.is_box()) EnsureAll();
+
+  QueryStats filter_stats;
+  RSkybandResult band = ComputeRSkyband(data_, tree_, spec.region, spec.k,
+                                        &filter_stats, &cols_);
+  // Refinement (and its drill probes) touch exactly the band rows.
+  EnsureRows(band.ids);
+
+  if (algo == Algorithm::kRsa) {
+    Rsa::Options opt;
+    opt.use_drill = spec.use_drill;
+    opt.use_lemma1 = spec.use_lemma1;
+    opt.wave_cap = spec.wave_cap;
+    Utk1Result res = Rsa(opt).RunFiltered(data_, band, spec.region, spec.k);
+    r.ids = std::move(res.ids);
+    r.stats = res.stats;
+  } else {
+    Jaa::Options opt;
+    opt.use_lemma1 = spec.use_lemma1;
+    opt.wave_cap = spec.wave_cap;
+    r.utk2 = Jaa(opt).RunFiltered(data_, band, spec.region, spec.k);
+    r.ids = r.utk2.AllRecords();
+    r.stats = r.utk2.stats;
+  }
+  const int64_t candidates = r.stats.candidates;
+  r.stats += filter_stats;
+  r.stats.candidates = candidates;  // refinement input, as Engine reports
+  r.stats.elapsed_ms = timer.ElapsedMs();
+  r.ok = true;
+  return r;
+}
+
+std::shared_ptr<const Engine> MappedEngine::EnsureCompact() const {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  if (compact_ == nullptr) {
+    EnsureAll();
+    Dataset compact;
+    std::vector<int32_t> stable_ids;
+    compact.reserve(static_cast<size_t>(seg_->live()));
+    for (int32_t i = 0; i < seg_->rows(); ++i) {
+      if (!seg_->alive_bytes()[i]) continue;
+      Record rec = data_[i];
+      rec.id = static_cast<int32_t>(compact.size());
+      compact.push_back(std::move(rec));
+      stable_ids.push_back(i);
+    }
+    compact_ = std::make_shared<const Engine>(std::move(compact));
+    compact_ids_ = std::move(stable_ids);
+  }
+  return compact_;
+}
+
+QueryResult MappedEngine::RunViaCompact(const QuerySpec& spec) const {
+  std::shared_ptr<const Engine> compact = EnsureCompact();
+  std::vector<int32_t> stable_ids;
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    stable_ids = compact_ids_;
+  }
+  QueryResult r = compact->Run(spec);
+  if (!r.ok) return r;
+  MapIds(stable_ids, &r.ids);
+  for (Utk2Cell& cell : r.utk2.cells) MapIds(stable_ids, &cell.topk);
+  for (auto& rec : r.per_record.records) rec.id = stable_ids[rec.id];
+  return r;
+}
+
+QueryResult MappedEngine::Run(const QuerySpec& spec) const {
+  if (std::optional<std::string> error = Validate(spec))
+    return Fail(spec, std::move(*error));
+  const Algorithm algo = Plan(spec);
+  const int64_t before = rows_materialized();
+  QueryResult r = (algo == Algorithm::kRsa || algo == Algorithm::kJaa)
+                      ? RunBandPipeline(spec, algo)
+                      : RunViaCompact(spec);
+  r.stats.epoch = static_cast<int64_t>(epoch());
+  r.stats.rows_materialized = rows_materialized() - before;
+  r.stats.mapped_bytes = static_cast<int64_t>(seg_->file_bytes());
+  return r;
+}
+
+std::vector<int32_t> MappedEngine::TopK(const Vec& w, int k) const {
+  // Branch-and-bound over MBBs + the borrowed columns; no AoS rows needed.
+  return TopKRTree(data_, tree_, w, k, nullptr, &cols_);
+}
+
+}  // namespace utk

@@ -7,6 +7,7 @@
 //   Engine == Server cold (miss) == Server warm (exact hit, byte-equal)
 //   Engine == Server warm on a contained sub-region (semantic hit)
 //   Engine == LiveEngine after replaying the same records as inserts
+//   Engine == MappedEngine over a written segment (mmap, lazy rows)
 //   SoA columnar filter/top-k == AoS scalar path (bit-for-bit, per draw)
 //
 // UTK1 answers must be byte-identical. UTK2 answers are compared as the
@@ -21,8 +22,10 @@
 // draw's seed for replay.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -36,6 +39,8 @@
 #include "live/live_engine.h"
 #include "serve/server.h"
 #include "skyline/rskyband.h"
+#include "storage/mapped_engine.h"
+#include "storage/segment.h"
 
 namespace utk {
 namespace {
@@ -233,6 +238,34 @@ TEST(Differential, AllExecutionPathsAgree) {
       EXPECT_EQ(via_live.ids, want.ids);
     } else {
       ExpectSameUtk2(*engine, d.k, want, via_live);
+    }
+
+    // --- MappedEngine: the same catalog served off an mmap'd segment ---
+    // Catches any read of an unmaterialized AoS row (the rows are EMPTY
+    // until gathered, so a stray dereference is an ASan-visible OOB, not a
+    // silent zero) and pins the zero-copy borrowed-column pipeline against
+    // the owning one.
+    {
+      const std::string seg_path =
+          ::testing::TempDir() + "utk_diff_" + std::to_string(i) + ".seg";
+      std::vector<char> alive(data.size(), 1);
+      ASSERT_EQ(WriteSegment(seg_path, data, alive, engine->tree(), 0),
+                std::nullopt);
+      std::string seg_error;
+      auto mapped = MappedEngine::Open(seg_path, &seg_error);
+      ASSERT_NE(mapped, nullptr) << seg_error;
+      QueryResult via_mapped = mapped->Run(spec);
+      ASSERT_TRUE(via_mapped.ok) << via_mapped.error;
+      if (d.mode == QueryMode::kUtk1) {
+        EXPECT_EQ(via_mapped.ids, want.ids);
+      } else {
+        ExpectSameUtk2(*engine, d.k, want, via_mapped);
+      }
+      EXPECT_EQ(mapped->TopK(*d.region.Pivot(), d.k),
+                engine->TopK(*d.region.Pivot(), d.k));
+      EXPECT_LE(mapped->rows_materialized(),
+                static_cast<int64_t>(data.size()));
+      std::remove(seg_path.c_str());
     }
 
     if (HasFailure()) {

@@ -24,11 +24,17 @@ TEST(Stats, AccumulateSumsCountersAndMaxesPeak) {
   b.cache_evictions = 5;
   a.epoch = 7;
   b.epoch = 3;
+  a.rows_materialized = 4;
+  b.rows_materialized = 6;
+  a.mapped_bytes = 100;
+  b.mapped_bytes = 80;
   a += b;
   EXPECT_EQ(a.candidates, 13);
   EXPECT_EQ(a.lp_calls, 12);
   EXPECT_EQ(a.peak_bytes, 250);  // max, not sum
   EXPECT_EQ(a.epoch, 7);  // a gauge like peak_bytes: the newest epoch wins
+  EXPECT_EQ(a.rows_materialized, 10);  // sums
+  EXPECT_EQ(a.mapped_bytes, 100);      // gauge: max
   EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
   // The serving-layer counters sum like the execution counters, so
   // RunBatch/QueryBatch totals report trace-wide hit/miss/eviction counts.
@@ -104,6 +110,8 @@ TEST(Stats, CsvRoundTrips) {
   s.cache_misses = 9;
   s.cache_evictions = 1;
   s.epoch = 12;
+  s.rows_materialized = 33;
+  s.mapped_bytes = 1 << 16;
   s.elapsed_ms = 1.25e-3;
 
   // Header and row have the same arity, and every field survives the trip —
@@ -131,6 +139,8 @@ TEST(Stats, CsvRoundTrips) {
   EXPECT_EQ(parsed->cache_misses, s.cache_misses);
   EXPECT_EQ(parsed->cache_evictions, s.cache_evictions);
   EXPECT_EQ(parsed->epoch, s.epoch);
+  EXPECT_EQ(parsed->rows_materialized, s.rows_materialized);
+  EXPECT_EQ(parsed->mapped_bytes, s.mapped_bytes);
   EXPECT_DOUBLE_EQ(parsed->elapsed_ms, s.elapsed_ms);
 
   // Default-constructed stats round-trip too (all-zero row).
