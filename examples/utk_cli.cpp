@@ -23,6 +23,23 @@
 //   open      --dir DIR [--ops N --seed S] [--k K --box ...] [--verify 0|1]
 //             reopen (segment + WAL replay), optionally update and query
 //   compact   --dir DIR                fold the WAL into a fresh segment
+//   run       --data FILE.csv [--k K] [--mode utk1|utk2] [--queries N]
+//             [--sigma S] [--seed SEED] [--box lo1,hi1,...] [--algo ...]
+//             [--threads T] [--shards S] [--tiles T] [--partitioner ...]
+//             answer a batch of queries (random boxes unless --box is given)
+//   stats     [<subcommand> --flags...]
+//             run any other subcommand, then pretty-print the process-wide
+//             metric registry (src/obs/) to stdout; bare `stats` prints the
+//             (empty) registry and exits
+//
+// Observability flags, accepted anywhere on the command line for every
+// subcommand (src/obs/):
+//   --trace-out FILE     enable span tracing; write Chrome trace-event JSON
+//                        (load at ui.perfetto.dev) when the command finishes
+//   --metrics-out FILE   write the Prometheus text exposition of the metric
+//                        registry when the command finishes
+//   --slow-ms T          log queries slower than T ms to stderr (spec
+//                        fingerprint + stats + top spans)
 //
 // All UTK dispatch goes through the QueryEngine interface: the CLI builds
 // one engine per dataset (R-tree included) and submits a declarative
@@ -72,6 +89,8 @@
 #include "data/workload.h"
 #include "dist/partitioned_engine.h"
 #include "live/live_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "storage/catalog.h"
 
@@ -105,7 +124,9 @@ std::vector<Scalar> ParseList(const std::string& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: utk_cli <generate|utk1|utk2|topk|immutable|serve|"
-               "updates|save|open|compact> [--flags]\n"
+               "updates|save|open|compact|run|stats> [--flags]\n"
+               "observability: --trace-out FILE --metrics-out FILE "
+               "--slow-ms T (any subcommand)\n"
                "see the header of examples/utk_cli.cpp for details\n");
   return 2;
 }
@@ -795,11 +816,92 @@ int CmdImmutable(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-}  // namespace
+/// Batch query driver for observability captures: answers --queries random
+/// boxes (or one --box) through Engine::RunBatch / the partitioned engine,
+/// exercising the full filter -> refine span tree per query.
+int CmdRun(const std::map<std::string, std::string>& flags) {
+  Engine loaded = [&flags] {
+    UTK_SPAN("cli.load");
+    return EngineOrDie(flags);
+  }();
+  const int pref_dim = loaded.pref_dim();
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
+  QuerySpec base;
+  base.mode = flags.count("mode") && flags.at("mode") == "utk2"
+                  ? QueryMode::kUtk2
+                  : QueryMode::kUtk1;
+  base.k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  if (flags.count("algo")) {
+    auto algo = ParseAlgorithm(flags.at("algo"));
+    if (!algo.has_value()) {
+      std::fprintf(stderr, "error: unknown --algo %s\n",
+                   flags.at("algo").c_str());
+      return 2;
+    }
+    base.algorithm = *algo;
+  }
+
+  std::vector<QuerySpec> specs;
+  if (flags.count("box")) {
+    QuerySpec spec = base;
+    spec.region = BoxOrDie(flags, pref_dim);
+    specs.push_back(std::move(spec));
+  } else {
+    const int count =
+        flags.count("queries") ? std::atoi(flags.at("queries").c_str()) : 8;
+    const Scalar sigma =
+        flags.count("sigma") ? std::atof(flags.at("sigma").c_str()) : 0.1;
+    const uint64_t seed =
+        flags.count("seed")
+            ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
+            : 42;
+    Rng rng(seed);
+    for (int q = 0; q < count; ++q) {
+      QuerySpec spec = base;
+      spec.region = RandomQueryBox(pref_dim, sigma, rng);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const int threads =
+      flags.count("threads") ? std::atoi(flags.at("threads").c_str()) : 1;
+  const DistConfig dist = DistConfigFromFlags(flags);
+  Timer timer;
+  BatchQueryResult batch;
+  if (WantsDist(dist)) {
+    PartitionedEngine partitioned(
+        std::make_shared<const Engine>(std::move(loaded)), dist);
+    batch.results.reserve(specs.size());
+    for (const QuerySpec& spec : specs) {
+      QueryResult r = partitioned.Run(spec);
+      if (!r.ok) ++batch.failed;
+      batch.total += r.stats;
+      batch.results.push_back(std::move(r));
+    }
+  } else {
+    batch = loaded.RunBatch(specs, threads);
+  }
+  const double total_ms = timer.ElapsedMs();
+
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const QueryResult& r = batch.results[i];
+    if (!r.ok) {
+      std::printf("q%zu ERROR %s\n", i, r.error.c_str());
+      continue;
+    }
+    std::printf("q%zu %s k=%d via=%s out=%zu ms=%.3f\n", i,
+                QueryModeName(r.mode), specs[i].k, AlgorithmName(r.algorithm),
+                r.ids.size(), r.stats.elapsed_ms);
+  }
+  std::printf("ran %zu queries (%d failed) in %.2f ms\n", specs.size(),
+              batch.failed, total_ms);
+  std::fprintf(stderr, "[stats] %s\n", batch.total.ToString().c_str());
+  return batch.failed == 0 ? 0 : 1;
+}
+
+/// Dispatches one subcommand. `stats` recurses: it runs the subcommand that
+/// follows it on the command line, then pretty-prints the metric registry.
+int Dispatch(const std::string& cmd, int argc, char** argv) {
   auto flags = ParseFlags(argc, argv);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "utk1") return CmdUtk(flags, false);
@@ -811,5 +913,60 @@ int main(int argc, char** argv) {
   if (cmd == "save") return CmdSave(flags);
   if (cmd == "open") return CmdOpen(flags);
   if (cmd == "compact") return CmdCompact(flags);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "stats") {
+    int rc = 0;
+    if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+      if (std::string(argv[2]) == "stats") return Usage();  // no stats stats
+      rc = Dispatch(argv[2], argc - 1, argv + 1);
+    }
+    std::printf("%s", obs::MetricRegistry::Global().PrettyText().c_str());
+    return rc;
+  }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  // Observability flags may ride on any subcommand, at any position (the
+  // per-command ParseFlags also sees them; commands ignore what they don't
+  // know). Tracing / slow-query logging must be on before dispatch.
+  std::string trace_out, metrics_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--slow-ms") == 0)
+      utk::obs::SetSlowQueryThresholdMs(std::atof(argv[i + 1]));
+  }
+  if (!trace_out.empty()) utk::obs::SetTracingEnabled(true);
+
+  const int rc = Dispatch(argv[1], argc, argv);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    out << utk::obs::TraceJson();
+    std::fprintf(stderr, "[obs] wrote %zu trace events to %s",
+                 utk::obs::TraceEventCount(), trace_out.c_str());
+    if (int64_t dropped = utk::obs::TraceDroppedCount())
+      std::fprintf(stderr, " (%lld dropped past the buffer cap)",
+                   static_cast<long long>(dropped));
+    std::fprintf(stderr, "\n");
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    out << utk::obs::MetricRegistry::Global().PrometheusText();
+    std::fprintf(stderr, "[obs] wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return rc;
 }

@@ -9,6 +9,8 @@
 #include "core/rsa.h"
 #include "core/topk.h"
 #include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace utk {
 namespace {
@@ -55,6 +57,8 @@ std::optional<std::string> Engine::Validate(const QuerySpec& spec) const {
 }
 
 QueryResult Engine::Run(const QuerySpec& spec) const {
+  UTK_SPAN("engine.run");
+  obs::QueryLogScope slow_log("engine.run");
   if (std::optional<std::string> error = Validate(spec))
     return Fail(spec, std::move(*error));
 
@@ -108,11 +112,20 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
     }
   }
   r.ok = true;
+
+  static obs::Counter& queries =
+      obs::MetricRegistry::Global().GetCounter("utk_engine_queries_total");
+  static obs::Histogram& latency = obs::MetricRegistry::Global().GetHistogram(
+      "utk_engine_query_latency_us");
+  queries.Add();
+  latency.Observe(static_cast<int64_t>(r.stats.elapsed_ms * 1000.0));
+  slow_log.Finish(r.stats, [&spec] { return SpecFingerprint(spec); });
   return r;
 }
 
 BatchQueryResult Engine::RunBatch(std::span<const QuerySpec> specs,
                                   int threads) const {
+  UTK_SPAN_VAL("engine.batch", static_cast<int64_t>(specs.size()));
   BatchQueryResult batch;
   batch.results.resize(specs.size());
   ParallelFor(static_cast<int>(specs.size()),

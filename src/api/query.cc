@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+
+#include "common/crc32.h"
 
 namespace utk {
 namespace {
@@ -57,6 +60,29 @@ Algorithm ChooseAlgorithm(QueryMode mode, int64_t n, int pref_dim) {
   if (n <= kAutoNaiveMaxN && pref_dim <= kAutoNaiveMaxPrefDim)
     return Algorithm::kNaive;
   return Algorithm::kRsa;
+}
+
+std::string SpecFingerprint(const QuerySpec& spec) {
+  // CRC the raw region scalars: box bounds, or every constraint's (a, b).
+  uint32_t crc = 0;
+  auto add = [&crc](Scalar v) { crc = Crc32(&v, sizeof(v), crc); };
+  if (spec.region.is_box()) {
+    for (Scalar v : spec.region.box_lo()) add(v);
+    for (Scalar v : spec.region.box_hi()) add(v);
+  } else {
+    for (const Halfspace& h : spec.region.constraints()) {
+      for (Scalar v : h.a) add(v);
+      add(h.b);
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s/%s/k=%d/d=%d/r=%08x",
+                QueryModeName(spec.mode), AlgorithmName(spec.algorithm),
+                spec.k, spec.region.dim(), crc);
+  std::string fp = buf;
+  std::transform(fp.begin(), fp.end(), fp.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return fp;
 }
 
 }  // namespace utk

@@ -48,6 +48,14 @@ std::optional<Algorithm> ParseAlgorithm(const std::string& name);
 /// enumeration beats building the r-dominance machinery.
 Algorithm ChooseAlgorithm(QueryMode mode, int64_t n, int pref_dim);
 
+struct QuerySpec;
+
+/// Short human-readable fingerprint of a spec for logs (the slow-query log,
+/// trace annotations): "utk1/rsa/k=10/d=2/r=9f3a12c4" where r is a CRC over
+/// the region bytes. Distinct from the serving cache's CanonicalFingerprint
+/// (src/serve/result_cache.h), which is a binary key and epoch-qualified.
+std::string SpecFingerprint(const QuerySpec& spec);
+
 /// A declarative UTK query.
 struct QuerySpec {
   QueryMode mode = QueryMode::kUtk1;

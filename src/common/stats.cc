@@ -17,6 +17,19 @@ constexpr const char* kCsvHeader =
     "elapsed_ms";
 constexpr int kCsvFields = 17;
 
+// Drift guard: every QueryStats member must appear in kCsvHeader,
+// CounterFields(), operator+=, and ToString(). A new field changes
+// sizeof(QueryStats) and fails here until kCsvFields, the header string,
+// and CounterFields() are all updated in the same change; the word-fill
+// round-trip test in tests/test_stats.cc then proves the new field is
+// actually serialized, accumulated, and printed rather than skipped.
+constexpr int kCounterFields = kCsvFields - 1;  // elapsed_ms rides last
+static_assert(sizeof(QueryStats) ==
+                  kCounterFields * sizeof(int64_t) + sizeof(double),
+              "QueryStats gained or lost a field: update kCsvHeader, "
+              "kCsvFields, CounterFields(), operator+=, and ToString(), "
+              "then extend the round-trip test in tests/test_stats.cc");
+
 std::vector<int64_t QueryStats::*> CounterFields() {
   return {&QueryStats::candidates,
           &QueryStats::lp_calls,

@@ -7,6 +7,7 @@
 #include "core/drill.h"
 #include "exec/kernels.h"
 #include "geometry/linear.h"
+#include "obs/trace.h"
 #include "skyline/graph.h"
 #include "skyline/rskyband.h"
 
@@ -111,10 +112,13 @@ void PartitionRec(const JaaContext& ctx, int p, const Zone& zone,
     wave.resize(ctx.options.wave_cap);
   }
   Bitset inserted(ctx.g.size());
-  for (int i : wave) {
-    arr.Insert(i, BetterOrEqual(ctx.data[ctx.band.ids[i]],
-                                ctx.data[ctx.band.ids[p]]));
-    inserted.Set(i);
+  {
+    UTK_SPAN_VAL("arrangement.build", static_cast<int64_t>(wave.size()));
+    for (int i : wave) {
+      arr.Insert(i, BetterOrEqual(ctx.data[ctx.band.ids[i]],
+                                  ctx.data[ctx.band.ids[p]]));
+      inserted.Set(i);
+    }
   }
   assert(inserted.Count() > 0);
 
@@ -218,6 +222,7 @@ void Solve(const JaaContext& ctx, const Zone& zone, const Bitset& prefix,
 void Refine(const Jaa::Options& options, const Dataset& data,
             const RSkybandResult& band, const ConvexRegion& r, int k,
             Utk2Result* result) {
+  UTK_SPAN_VAL("jaa.refine", static_cast<int64_t>(band.ids.size()));
   RDominanceGraph g = RDominanceGraph::Build(band);
 
   auto interior = FindInteriorPoint(r.constraints());

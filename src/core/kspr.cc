@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geometry/linear.h"
+#include "obs/trace.h"
 
 namespace utk {
 
@@ -10,6 +11,7 @@ KsprResult Kspr(const Dataset& data, int32_t p,
                 const std::vector<int32_t>& competitors,
                 const ConvexRegion& r, int k, bool early_exit,
                 QueryStats* stats) {
+  UTK_SPAN_VAL("kspr.decide", static_cast<int64_t>(competitors.size()));
   KsprResult result;
   CellArrangement arr(r, stats);
   arr.set_freeze_threshold(k);

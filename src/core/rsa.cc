@@ -8,6 +8,7 @@
 #include "core/drill.h"
 #include "exec/kernels.h"
 #include "geometry/linear.h"
+#include "obs/trace.h"
 #include "skyline/rskyband.h"
 
 namespace utk {
@@ -96,10 +97,13 @@ bool Verify(const VerifyContext& ctx, const std::vector<Halfspace>& bounds,
     wave.resize(ctx.options.wave_cap);
   }
   Bitset inserted(ctx.g.size());
-  for (int i : wave) {
-    arr.Insert(i, BetterOrEqual(ctx.data[ctx.band.ids[i]],
-                                ctx.data[ctx.band.ids[ctx.cand]]));
-    inserted.Set(i);
+  {
+    UTK_SPAN_VAL("arrangement.build", static_cast<int64_t>(wave.size()));
+    for (int i : wave) {
+      arr.Insert(i, BetterOrEqual(ctx.data[ctx.band.ids[i]],
+                                  ctx.data[ctx.band.ids[ctx.cand]]));
+      inserted.Set(i);
+    }
   }
 
   // Promising partitions: cells whose covering count is below the quota,
@@ -155,6 +159,7 @@ bool Verify(const VerifyContext& ctx, const std::vector<Halfspace>& bounds,
 void Refine(const Rsa::Options& options, const Dataset& data,
             const RSkybandResult& band, const ConvexRegion& r, int k,
             Utk1Result* result) {
+  UTK_SPAN_VAL("rsa.refine", static_cast<int64_t>(band.ids.size()));
   RDominanceGraph g = RDominanceGraph::Build(band);
   const int n = g.size();
 
@@ -182,6 +187,7 @@ void Refine(const Rsa::Options& options, const Dataset& data,
 
   for (int p : order) {
     if (state[p] != State::kUnknown) continue;
+    UTK_SPAN("rsa.candidate");
     VerifyContext ctx{data,   band, band_cols, &scratch, g, options, p,
                       MakeScore(data[band.ids[p]]), &result->stats};
     // Ancestors are ignored and their count is absorbed into the quota.

@@ -7,6 +7,8 @@
 #include "core/jaa.h"
 #include "core/rsa.h"
 #include "dist/tiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace utk {
 namespace {
@@ -127,6 +129,7 @@ void PartitionedEngine::FilterAll(
   // single shard, whose filter is the global one already).
   std::vector<std::vector<int32_t>> seeds(T);
   if (S > 1) {
+    UTK_SPAN_VAL("dist.seed", T);
     for (int t = 0; t < T; ++t) {
       Timer timer;
       seeds[t] = SeedIds(tiles[t], k);
@@ -135,6 +138,7 @@ void PartitionedEngine::FilterAll(
   }
 
   ParallelFor(T * S, threads, [&](int idx) {
+    UTK_SPAN("dist.shard_filter");
     const int t = idx / S, s = idx % S;
     const Shard& shard = shards_[s];
     if (shard.records->empty()) return;  // empty shard: empty band
@@ -193,6 +197,11 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   if (algo != Algorithm::kRsa && algo != Algorithm::kJaa)
     return base_->Run(spec);
 
+  UTK_SPAN("dist.run");
+  obs::QueryLogScope slow_log("dist.run");
+  static obs::Counter& queries =
+      obs::MetricRegistry::Global().GetCounter("utk_dist_queries_total");
+  queries.Add();
   Timer timer;
   const std::vector<ConvexRegion> tiles =
       TileRegion(spec.region, config_.tiles);
@@ -214,6 +223,7 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   std::vector<QueryStats> tile_stats(T);
   std::vector<int64_t> pool_sizes(T), band_sizes(T);
   ParallelFor(T, threads, [&](int t) {
+    UTK_SPAN("dist.tile_refine");
     std::vector<int32_t> pool = UnionPool(shard_ids[t]);
     pool_sizes[t] = static_cast<int64_t>(pool.size());
     RSkybandResult band =
@@ -290,6 +300,10 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
       detail->filter.push_back(MakeReport(S, t, shard_ids[t], filter_ms,
                                           seed_ms[t], pool_sizes[t]));
   }
+  static obs::Histogram& latency = obs::MetricRegistry::Global().GetHistogram(
+      "utk_dist_query_latency_us");
+  latency.Observe(static_cast<int64_t>(out.stats.elapsed_ms * 1000.0));
+  slow_log.Finish(out.stats, [&spec] { return SpecFingerprint(spec); });
   return out;
 }
 

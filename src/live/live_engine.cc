@@ -7,6 +7,8 @@
 #include "core/jaa.h"
 #include "core/rsa.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "skyline/rskyband.h"
 
 namespace utk {
@@ -176,6 +178,7 @@ QueryResult LiveEngine::RunViaCompact(const QuerySpec& spec) const {
 }
 
 QueryResult LiveEngine::Run(const QuerySpec& spec) const {
+  UTK_SPAN("live.run");
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (std::optional<std::string> error = ValidateLocked(spec))
     return Fail(spec, std::move(*error));
@@ -303,6 +306,7 @@ bool LiveEngine::Erase(int32_t id) {
 }
 
 int LiveEngine::ApplyBatch(std::span<const UpdateOp> ops) {
+  UTK_SPAN_VAL("live.apply_batch", static_cast<int64_t>(ops.size()));
   std::unique_lock<std::shared_mutex> lock(mu_);
   UpdateEvent event;
   int applied = 0;
@@ -360,6 +364,8 @@ bool LiveEngine::CouldAffect(const UpdateEvent& event,
 }
 
 void LiveEngine::Commit(const UpdateEvent& event) {
+  UTK_SPAN_VAL("live.commit", static_cast<int64_t>(event.ops.size()));
+  Timer timer;
   const uint64_t from = epoch_.load(std::memory_order_relaxed);
   const uint64_t to = from + 1;
   epoch_.store(to, std::memory_order_release);
@@ -372,12 +378,25 @@ void LiveEngine::Commit(const UpdateEvent& event) {
       for (UpdateLog* log : logs_) log->OnCommit(event.ops, view);
     }
   }
-  std::lock_guard<std::mutex> lock(caches_mu_);
-  for (ResultCache* cache : caches_) {
-    cache->ApplyInvalidation(from, to, [&](const CacheEntryView& view) {
-      return CouldAffect(event, view);
-    });
+  {
+    UTK_SPAN("live.cache_sweep");
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    for (ResultCache* cache : caches_) {
+      cache->ApplyInvalidation(from, to, [&](const CacheEntryView& view) {
+        return CouldAffect(event, view);
+      });
+    }
   }
+  auto& reg = obs::MetricRegistry::Global();
+  static obs::Counter& commits = reg.GetCounter("utk_live_commits_total");
+  static obs::Counter& inserts = reg.GetCounter("utk_live_inserts_total");
+  static obs::Counter& erases = reg.GetCounter("utk_live_erases_total");
+  static obs::Histogram& latency =
+      reg.GetHistogram("utk_live_commit_latency_us");
+  commits.Add();
+  inserts.Add(static_cast<int64_t>(event.inserted.size()));
+  erases.Add(static_cast<int64_t>(event.erased.size()));
+  latency.Observe(static_cast<int64_t>(timer.ElapsedMs() * 1000.0));
 }
 
 void LiveEngine::AttachLog(UpdateLog* log) {

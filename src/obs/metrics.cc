@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace utk {
+namespace obs {
+
+unsigned MetricStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return stripe;
+}
+
+int Histogram::BucketOf(int64_t v) {
+  if (v <= 1) return 0;
+  // Bucket b holds (2^(b-1), 2^b]: bit width of (v-1) for v >= 2.
+  int b = 0;
+  uint64_t u = static_cast<uint64_t>(v - 1);
+  while (u != 0) {
+    ++b;
+    u >>= 1;
+  }
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+int64_t Histogram::BucketUpper(int b) {
+  if (b >= 62) return std::numeric_limits<int64_t>::max();
+  return int64_t{1} << b;
+}
+
+void Histogram::Observe(int64_t v) {
+  if (v < 0) v = 0;
+  Cell& c = totals_[MetricStripe()];
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(v, std::memory_order_relaxed);
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Cell& c : totals_) total += c.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const Cell& c : totals_) total += c.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-th sample (1-based), then walk buckets and interpolate
+  // linearly between the bucket's bounds.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(seen + counts[b]) >= rank) {
+      double lo = (b == 0) ? 0.0 : static_cast<double>(BucketUpper(b - 1));
+      double hi = static_cast<double>(BucketUpper(b));
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[b];
+  }
+  return static_cast<double>(BucketUpper(kBuckets - 1));
+}
+
+void Histogram::Zero() {
+  for (Cell& c : totals_) {
+    c.count.store(0, std::memory_order_relaxed);
+    c.sum.store(0, std::memory_order_relaxed);
+  }
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* g = new MetricRegistry();  // never destroyed
+  return *g;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string BucketLabel(int b) {
+  if (b >= 62) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, Histogram::BucketUpper(b));
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    // Emit cumulative buckets up to the highest non-empty one, then +Inf.
+    int top = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h->BucketCount(b) > 0) top = b;
+    }
+    int64_t cum = 0;
+    for (int b = 0; b <= top; ++b) {
+      cum += h->BucketCount(b);
+      out << name << "_bucket{le=\"" << BucketLabel(b) << "\"} " << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h->Count() << "\n";
+    out << name << "_sum " << h->Sum() << "\n";
+    out << name << "_count " << h->Count() << "\n";
+    // Companion gauge family with interpolated quantiles: Prometheus-side
+    // histogram_quantile() needs a scrape history; exported files do not
+    // have one, so the p50/p90/p99 the CLI promises ride along directly.
+    out << "# TYPE " << name << "_q gauge\n";
+    out << name << "_q{quantile=\"0.5\"} " << FormatDouble(h->Quantile(0.5))
+        << "\n";
+    out << name << "_q{quantile=\"0.9\"} " << FormatDouble(h->Quantile(0.9))
+        << "\n";
+    out << name << "_q{quantile=\"0.99\"} " << FormatDouble(h->Quantile(0.99))
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << c->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << g->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << h->Count()
+        << ",\"sum\":" << h->Sum()
+        << ",\"p50\":" << FormatDouble(h->Quantile(0.5))
+        << ",\"p90\":" << FormatDouble(h->Quantile(0.9))
+        << ",\"p99\":" << FormatDouble(h->Quantile(0.99)) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricRegistry::PrettyText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  if (!counters_.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      out << "  " << name << " = " << c->Value() << "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      out << "  " << name << " = " << g->Value() << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    out << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      int64_t n = h->Count();
+      out << "  " << name << ": count=" << n << " sum=" << h->Sum();
+      if (n > 0) {
+        out << " mean=" << FormatDouble(static_cast<double>(h->Sum()) /
+                                        static_cast<double>(n))
+            << " p50=" << FormatDouble(h->Quantile(0.5))
+            << " p90=" << FormatDouble(h->Quantile(0.9))
+            << " p99=" << FormatDouble(h->Quantile(0.99));
+      }
+      out << "\n";
+    }
+  }
+  if (counters_.empty() && gauges_.empty() && histograms_.empty()) {
+    out << "(no metrics registered)\n";
+  }
+  return out.str();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Zero();
+  for (auto& [name, g] : gauges_) g->Zero();
+  for (auto& [name, h] : histograms_) h->Zero();
+}
+
+}  // namespace obs
+}  // namespace utk

@@ -1,0 +1,149 @@
+// Process-wide metric registry: named counters, gauges, and log-bucketed
+// latency histograms shared by every engine in the process.
+//
+// Write path: lock-free sharded atomics. Counters and histogram totals are
+// striped over kMetricShards cache-line-padded cells indexed by a per-thread
+// stripe id, so N threads hammering one counter never bounce a single cache
+// line. Reads (Value/Quantile/exports) sum the stripes — they are exact for
+// quiescent metrics and monotonic-consistent under concurrent writers.
+//
+// Lookup path: MetricRegistry::Get* interns the metric by name under a mutex
+// and returns a stable reference. Registered metrics are NEVER deallocated
+// (Reset() zeroes them in place), so call sites may cache the reference in a
+// function-local static and write through it forever:
+//
+//   static obs::Counter& queries =
+//       obs::MetricRegistry::Global().GetCounter("utk_engine_queries_total");
+//   queries.Add();
+//
+// Naming scheme (DESIGN.md §12): utk_<subsystem>_<what>[_<unit>][_total].
+// Counters end in _total, histograms carry their unit (_us for latencies).
+//
+// Exports: PrometheusText() is the text exposition format (counters, gauges,
+// cumulative histogram buckets + a companion *_q gauge family carrying
+// p50/p90/p99); JsonSnapshot() is the same data as one JSON object;
+// PrettyText() is the human table behind `utk_cli stats`.
+#ifndef UTK_OBS_METRICS_H_
+#define UTK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace utk {
+namespace obs {
+
+inline constexpr int kMetricShards = 16;
+
+/// Stable per-thread stripe index in [0, kMetricShards).
+unsigned MetricStripe();
+
+/// Monotonically increasing sum, striped for write scalability.
+class Counter {
+ public:
+  void Add(int64_t n = 1) {
+    cells_[MetricStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Zero() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// Last-write-wins (Set) or high-watermark (Max) scalar.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Max(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Zero() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of non-negative int64 samples (latencies in
+/// microseconds by convention). Bucket 0 holds v <= 1; bucket b >= 1 holds
+/// v in (2^(b-1), 2^b]. Quantiles interpolate linearly inside the bucket,
+/// so p50/p90/p99 carry at most a 2x bucket-resolution error — the right
+/// trade for a lock-free write path of one fetch_add per sample.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static int BucketOf(int64_t v);
+  /// Inclusive upper bound of bucket b (2^b; saturates at int64 max).
+  static int64_t BucketUpper(int b);
+
+  void Observe(int64_t v);
+  int64_t Count() const;
+  int64_t Sum() const;
+  int64_t BucketCount(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// q in [0, 1]. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+  void Zero();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+  };
+  std::array<Cell, kMetricShards> totals_;
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
+
+// Thread-safety: Get* interns under a mutex and returns references that stay
+// valid for the process lifetime; the returned objects are internally
+// thread-safe. The three kinds live in separate namespaces — registering the
+// same name as two kinds is a naming bug the exports surface verbatim.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition format, metrics in name order.
+  std::string PrometheusText() const;
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  std::string JsonSnapshot() const;
+  /// Human-readable table (the `utk_cli stats` output).
+  std::string PrettyText() const;
+
+  /// Zeroes every registered metric in place. References stay valid —
+  /// registration is permanent; only the values reset. Test-only by intent.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace utk
+
+#endif  // UTK_OBS_METRICS_H_

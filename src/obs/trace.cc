@@ -1,0 +1,279 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace utk {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void SetTracingEnabled(bool on) {
+  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+int64_t NowMicros() {
+  // One process-wide clock for every traced and reported time (never
+  // destroyed: spans may close during static teardown).
+  static const Timer* epoch = new Timer();
+  return static_cast<int64_t>(epoch->ElapsedMs() * 1000.0);
+}
+
+namespace {
+
+// Per-thread cap; a runaway query that records more drops the excess and
+// counts it, rather than growing without bound.
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 0;
+};
+
+Collector& GlobalCollector() {
+  static Collector* c = new Collector();  // never destroyed
+  return *c;
+}
+
+// Per-name duration totals for the slow-query log, linear-scanned: a query
+// touches a couple dozen distinct span names at most.
+struct SlowFrame {
+  int scope_depth = 0;     // nested QueryLogScopes; only the outermost owns
+  bool collecting = false;
+  std::vector<std::pair<const char*, int64_t>> totals;
+};
+
+struct ThreadState {
+  std::shared_ptr<ThreadBuffer> buffer;
+  uint32_t tid = 0;
+  int span_depth = 0;
+  SlowFrame slow;
+
+  ThreadState() : buffer(std::make_shared<ThreadBuffer>()) {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    tid = c.next_tid++;
+    c.buffers.push_back(buffer);
+  }
+};
+
+ThreadState& TLS() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::atomic<double> g_slow_threshold_ms{-1.0};
+
+std::mutex g_sink_mu;
+std::function<void(const std::string&)> g_slow_sink;  // empty => stderr
+
+void EmitSlowLine(const std::string& line) {
+  std::function<void(const std::string&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_slow_sink;
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+void SpanGuard::Open(const char* name, int64_t arg) {
+  name_ = name;
+  arg_ = arg;
+  start_us_ = NowMicros();
+  ++TLS().span_depth;
+  active_ = true;
+}
+
+void SpanGuard::Close() {
+  int64_t end_us = NowMicros();
+  ThreadState& tls = TLS();
+  int depth = --tls.span_depth;
+  int64_t dur = end_us - start_us_;
+  {
+    std::lock_guard<std::mutex> lock(tls.buffer->mu);
+    if (tls.buffer->events.size() < kMaxEventsPerThread) {
+      tls.buffer->events.push_back(
+          TraceEvent{name_, start_us_, dur, tls.tid, depth, arg_});
+    } else {
+      ++tls.buffer->dropped;
+    }
+  }
+  if (tls.slow.collecting) {
+    for (auto& [n, total] : tls.slow.totals) {
+      if (n == name_) {  // same literal: span names are static strings
+        total += dur;
+        return;
+      }
+    }
+    tls.slow.totals.emplace_back(name_, dur);
+  }
+}
+
+std::string TraceJson() {
+  // Copy buffers out under their locks, then serialize unlocked.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+          << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid
+          << ",\"args\":{\"depth\":" << e.depth;
+      if (e.arg >= 0) out << ",\"value\":" << e.arg;
+      out << "}}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+void ClearTrace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+size_t TraceEventCount() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  size_t n = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+int64_t TraceDroppedCount() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  int64_t n = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceSnapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Collector& c = GlobalCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  std::vector<TraceEvent> all;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  return all;
+}
+
+void SetSlowQueryThresholdMs(double ms) {
+  g_slow_threshold_ms.store(ms, std::memory_order_relaxed);
+}
+
+double SlowQueryThresholdMs() {
+  return g_slow_threshold_ms.load(std::memory_order_relaxed);
+}
+
+void SetSlowQuerySink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_slow_sink = std::move(sink);
+}
+
+QueryLogScope::QueryLogScope(const char* label) : label_(label) {
+  SlowFrame& frame = TLS().slow;
+  if (frame.scope_depth++ == 0 && SlowQueryThresholdMs() >= 0) {
+    owner_ = true;
+    frame.collecting = true;
+    frame.totals.clear();
+  }
+}
+
+QueryLogScope::~QueryLogScope() {
+  SlowFrame& frame = TLS().slow;
+  --frame.scope_depth;
+  if (owner_) {
+    frame.collecting = false;
+    frame.totals.clear();
+  }
+}
+
+void QueryLogScope::Finish(const QueryStats& stats,
+                           const std::function<std::string()>& fingerprint) {
+  if (!owner_) return;
+  double threshold = SlowQueryThresholdMs();
+  if (threshold < 0 || stats.elapsed_ms < threshold) return;
+
+  SlowFrame& frame = TLS().slow;
+  // Top spans by total duration. Without tracing on, totals are empty and
+  // the line still carries fingerprint + stats.
+  std::vector<std::pair<const char*, int64_t>> top = frame.totals;
+  std::sort(top.begin(), top.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (top.size() > 3) top.resize(3);
+
+  std::ostringstream line;
+  line << "slow-query label=" << label_ << " fp=" << fingerprint()
+       << " elapsed_ms=" << stats.elapsed_ms << " top_spans=[";
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (i) line << " ";
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.3f",
+                  static_cast<double>(top[i].second) / 1000.0);
+    line << top[i].first << ":" << ms;
+  }
+  line << "] stats={" << stats.ToString() << "}";
+  EmitSlowLine(line.str());
+}
+
+}  // namespace obs
+}  // namespace utk

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "geometry/linear.h"
+#include "obs/metrics.h"
 
 namespace utk {
 namespace {
@@ -276,7 +277,15 @@ int64_t ResultCache::Admit(const QuerySpec& spec, Algorithm planned,
     }
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  static obs::Counter& admits = obs::MetricRegistry::Global().GetCounter(
+      "utk_serve_cache_admits_total");
+  admits.Add();
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    static obs::Counter& evictions = obs::MetricRegistry::Global().GetCounter(
+        "utk_serve_cache_evictions_total");
+    evictions.Add(evicted);
+  }
   return evicted;
 }
 
@@ -325,6 +334,9 @@ int64_t ResultCache::ApplyInvalidation(uint64_t from_epoch, uint64_t to_epoch,
   }
   invalidation_sweeps_.fetch_add(1, std::memory_order_relaxed);
   if (dropped > 0) invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  static obs::Counter& invalidated = obs::MetricRegistry::Global().GetCounter(
+      "utk_serve_cache_invalidated_total");
+  invalidated.Add(dropped);
   return dropped;
 }
 

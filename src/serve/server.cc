@@ -9,9 +9,30 @@
 #include "core/kspr.h"
 #include "geometry/linear.h"
 #include "geometry/lp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace utk {
 namespace {
+
+struct ServeMetrics {
+  obs::Counter& queries;
+  obs::Counter& exact_hits;
+  obs::Counter& semantic_hits;
+  obs::Counter& misses;
+  obs::Histogram& latency;
+
+  static ServeMetrics& Get() {
+    auto& reg = obs::MetricRegistry::Global();
+    static ServeMetrics m{
+        reg.GetCounter("utk_serve_queries_total"),
+        reg.GetCounter("utk_serve_cache_hits_total"),
+        reg.GetCounter("utk_serve_cache_semantic_hits_total"),
+        reg.GetCounter("utk_serve_cache_misses_total"),
+        reg.GetHistogram("utk_serve_query_latency_us")};
+    return m;
+  }
+};
 
 /// H-representation of (cell with `bounds`) intersected with `inner`.
 std::vector<Halfspace> ClipBounds(const std::vector<Halfspace>& bounds,
@@ -54,30 +75,44 @@ Server::Server(Engine engine, CacheConfig config)
       cache_(config) {}
 
 QueryResult Server::Query(const QuerySpec& spec) {
+  UTK_SPAN("serve.query");
+  obs::QueryLogScope slow_log("serve.query");
+  ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.queries.Add();
   Timer timer;
+  auto record = [&](QueryResult r) {
+    metrics.latency.Observe(static_cast<int64_t>(r.stats.elapsed_ms * 1000.0));
+    slow_log.Finish(r.stats, [&spec] { return SpecFingerprint(spec); });
+    return r;
+  };
   // Requests the engine would reject bypass the cache entirely so the
   // diagnostic is identical to Engine::Run's, and failures are never cached.
-  if (engine_->Validate(spec).has_value()) return engine_->Run(spec);
+  if (engine_->Validate(spec).has_value()) return record(engine_->Run(spec));
 
   const Algorithm planned = engine_->Plan(spec);
   // The dataset epoch is read *before* the query runs: if an update commits
   // mid-flight, the admit below carries the superseded epoch and the cache
   // refuses it — a racing query can never plant a stale answer.
   const uint64_t epoch = engine_->epoch();
-  CacheLookup lookup = cache_.Lookup(spec, planned, epoch);
+  CacheLookup lookup = [&] {
+    UTK_SPAN("serve.cache_probe");
+    return cache_.Lookup(spec, planned, epoch);
+  }();
   if (lookup.outcome == CacheOutcome::kExactHit) {
+    metrics.exact_hits.Add();
     QueryResult r = std::move(lookup.result);
     // The stats describe *this* serving, not the donor's original run.
     r.stats = QueryStats{};
     r.stats.cache_hits = 1;
     r.stats.epoch = static_cast<int64_t>(epoch);
     r.stats.elapsed_ms = timer.ElapsedMs();
-    return r;
+    return record(std::move(r));
   }
   if (lookup.outcome == CacheOutcome::kSemanticHit) {
     QueryResult r = ServeFromDonor(spec, std::move(lookup));
     cache_.ResolveSemantic(r.ok);
     if (r.ok) {
+      metrics.semantic_hits.Add();
       r.stats.cache_semantic_hits = 1;
       r.stats.epoch = static_cast<int64_t>(epoch);
       // The restriction IS the Engine::Run answer for this spec (DESIGN.md
@@ -85,14 +120,15 @@ QueryResult Server::Query(const QuerySpec& spec) {
       // instead of re-paying the restriction.
       r.stats.cache_evictions = cache_.Admit(spec, planned, r, epoch);
       r.stats.elapsed_ms = timer.ElapsedMs();
-      return r;
+      return record(std::move(r));
     }
     // Degenerate restriction (the requested region only grazes the donor's
     // cells): fall through to a full run, counted as a miss everywhere.
   }
+  metrics.misses.Add();
   QueryResult r = RunAndAdmit(spec, planned, epoch);
   r.stats.cache_misses = 1;
-  return r;
+  return record(std::move(r));
 }
 
 QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned,
@@ -104,19 +140,23 @@ QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned,
   // tally is atomic.
   std::atomic<int64_t> tile_evictions{0};
   PartialResultSink sink = [&](const QuerySpec& sub, const QueryResult& part) {
+    UTK_SPAN("serve.admit");
     if (part.ok)
       tile_evictions.fetch_add(cache_.Admit(sub, planned, part, epoch),
                                std::memory_order_relaxed);
   };
   QueryResult r = engine_->Run(spec, sink);
-  if (r.ok)
+  if (r.ok) {
+    UTK_SPAN("serve.admit");
     r.stats.cache_evictions = tile_evictions.load(std::memory_order_relaxed) +
                               cache_.Admit(spec, planned, r, epoch);
+  }
   return r;
 }
 
 QueryResult Server::ServeFromDonor(const QuerySpec& spec,
                                    CacheLookup donor) const {
+  UTK_SPAN("serve.donor_restrict");
   QueryResult r;
   r.mode = spec.mode;
   r.algorithm = donor.result.algorithm;
@@ -238,6 +278,7 @@ QueryResult Server::ServeFromDonor(const QuerySpec& spec,
 
 BatchQueryResult Server::QueryBatch(std::span<const QuerySpec> specs,
                                     int threads) {
+  UTK_SPAN_VAL("serve.batch", static_cast<int64_t>(specs.size()));
   BatchQueryResult batch;
   batch.results.resize(specs.size());
   ParallelFor(static_cast<int>(specs.size()),

@@ -8,6 +8,7 @@
 
 #include "exec/kernels.h"
 #include "geometry/linear.h"
+#include "obs/trace.h"
 #include "skyline/rdominance.h"
 
 namespace utk {
@@ -94,6 +95,7 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
                                const ConvexRegion& r, int k,
                                const std::vector<Record>& pruners,
                                QueryStats* stats, const ColumnStore* cols) {
+  UTK_SPAN("filter.rskyband");
   RSkybandResult result;
   auto pivot = r.Pivot();
   assert(pivot.has_value() && "query region has empty interior");
@@ -212,6 +214,7 @@ RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
                                        const ConvexRegion& r, int k,
                                        QueryStats* stats,
                                        const ColumnStore* cols) {
+  UTK_SPAN_VAL("filter.pool", static_cast<int64_t>(pool.size()));
   RSkybandResult result;
   auto pivot = r.Pivot();
   assert(pivot.has_value() && "query region has empty interior");

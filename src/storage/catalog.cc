@@ -12,6 +12,7 @@
 
 #include "common/crc32.h"
 #include "common/serial.h"
+#include "obs/trace.h"
 #include "storage/segment.h"
 
 namespace utk {
@@ -152,6 +153,7 @@ std::unique_ptr<Catalog> Catalog::Create(const std::string& dir, Dataset data,
 std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
                                        const CatalogOptions& opt,
                                        std::string* error) {
+  UTK_SPAN("catalog.open");
   auto fail = [&](const std::string& why) -> std::unique_ptr<Catalog> {
     if (error != nullptr) *error = why;
     return nullptr;
@@ -188,14 +190,18 @@ std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
   // Replay: each committed batch goes back through the exact ApplyBatch
   // path that produced it. Any skipped op or epoch drift means the WAL and
   // segment disagree — refuse rather than serve a diverged catalog.
-  for (const std::vector<UpdateOp>& batch : replay->batches) {
-    const int applied = cat->engine_->ApplyBatch(batch);
-    if (applied != static_cast<int>(batch.size()))
-      return fail(wal_path + ": replay diverged (batch applied " +
-                  std::to_string(applied) + " of " +
-                  std::to_string(batch.size()) + " ops)");
-    cat->replayed_ops_ += applied;
-    ++cat->replayed_batches_;
+  {
+    UTK_SPAN_VAL("catalog.replay",
+                 static_cast<int64_t>(replay->batches.size()));
+    for (const std::vector<UpdateOp>& batch : replay->batches) {
+      const int applied = cat->engine_->ApplyBatch(batch);
+      if (applied != static_cast<int>(batch.size()))
+        return fail(wal_path + ": replay diverged (batch applied " +
+                    std::to_string(applied) + " of " +
+                    std::to_string(batch.size()) + " ops)");
+      cat->replayed_ops_ += applied;
+      ++cat->replayed_batches_;
+    }
   }
   if (cat->engine_->epoch() != replay->last_epoch)
     return fail(wal_path + ": replay ended at epoch " +
@@ -231,6 +237,7 @@ void Catalog::OnCommit(std::span<const UpdateOp> ops,
 }
 
 bool Catalog::CompactFromView(const CatalogView& view, std::string* error) {
+  UTK_SPAN_VAL("catalog.compact", static_cast<int64_t>(view.data.size()));
   const uint64_t next = seqno_ + 1;
   const std::string seg_name = FileName("seg", next, "seg");
   const std::string new_wal_name = FileName("wal", next, "wal");

@@ -5,6 +5,8 @@
 #include "core/jaa.h"
 #include "core/rsa.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "skyline/rskyband.h"
 
 namespace utk {
@@ -51,6 +53,7 @@ std::unique_ptr<MappedEngine> MappedEngine::Open(const std::string& path,
 
 void MappedEngine::EnsureRows(std::span<const int32_t> ids) const {
   if (all_done_.load(std::memory_order_acquire)) return;
+  UTK_SPAN_VAL("mapped.materialize", static_cast<int64_t>(ids.size()));
   std::lock_guard<std::mutex> lock(mat_mu_);
   int64_t gathered = 0;
   const int d = seg_->dim();
@@ -63,10 +66,14 @@ void MappedEngine::EnsureRows(std::span<const int32_t> ids) const {
     ++gathered;
   }
   rows_materialized_.fetch_add(gathered, std::memory_order_relaxed);
+  static obs::Counter& rows = obs::MetricRegistry::Global().GetCounter(
+      "utk_mapped_rows_materialized_total");
+  rows.Add(gathered);
 }
 
 void MappedEngine::EnsureAll() const {
   if (all_done_.load(std::memory_order_acquire)) return;
+  UTK_SPAN_VAL("mapped.materialize", seg_->rows());
   std::lock_guard<std::mutex> lock(mat_mu_);
   if (all_done_.load(std::memory_order_relaxed)) return;
   int64_t gathered = 0;
@@ -80,6 +87,9 @@ void MappedEngine::EnsureAll() const {
     ++gathered;
   }
   rows_materialized_.fetch_add(gathered, std::memory_order_relaxed);
+  static obs::Counter& rows = obs::MetricRegistry::Global().GetCounter(
+      "utk_mapped_rows_materialized_total");
+  rows.Add(gathered);
   all_done_.store(true, std::memory_order_release);
 }
 
@@ -190,6 +200,7 @@ QueryResult MappedEngine::RunViaCompact(const QuerySpec& spec) const {
 }
 
 QueryResult MappedEngine::Run(const QuerySpec& spec) const {
+  UTK_SPAN("mapped.run");
   if (std::optional<std::string> error = Validate(spec))
     return Fail(spec, std::move(*error));
   const Algorithm algo = Plan(spec);

@@ -12,6 +12,9 @@
 
 #include "common/crc32.h"
 #include "common/serial.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace utk {
 namespace {
@@ -119,20 +122,35 @@ bool WalWriter::WriteFrame(const std::string& payload, std::string* error) {
   frame += payload;
   if (!WriteAll(fd_, frame.data(), frame.size(), error, path_)) return false;
   bytes_ += frame.size();
+  static obs::Counter& wal_bytes =
+      obs::MetricRegistry::Global().GetCounter("utk_wal_bytes_total");
+  wal_bytes.Add(static_cast<int64_t>(frame.size()));
   if (fsync_ == FsyncPolicy::kAlways && !SyncNow(error)) return false;
   return true;
 }
 
 bool WalWriter::SyncNow(std::string* error) {
+  UTK_SPAN("wal.fsync");
+  Timer timer;
   if (::fsync(fd_) != 0) {
     if (error != nullptr) *error = Errno("fsync " + path_);
     return false;
   }
+  auto& reg = obs::MetricRegistry::Global();
+  static obs::Counter& fsyncs = reg.GetCounter("utk_wal_fsyncs_total");
+  static obs::Histogram& latency =
+      reg.GetHistogram("utk_wal_fsync_latency_us");
+  fsyncs.Add();
+  latency.Observe(static_cast<int64_t>(timer.ElapsedMs() * 1000.0));
   return true;
 }
 
 bool WalWriter::Append(std::span<const UpdateOp> ops, uint64_t epoch,
                        std::string* error) {
+  UTK_SPAN_VAL("wal.append", static_cast<int64_t>(ops.size()));
+  static obs::Counter& appends =
+      obs::MetricRegistry::Global().GetCounter("utk_wal_appends_total");
+  appends.Add();
   if (!ok_) {
     if (error != nullptr) *error = last_error_;
     return false;

@@ -37,6 +37,7 @@
 #include "dist/partitioned_engine.h"
 #include "exec/kernels.h"
 #include "live/live_engine.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "skyline/rskyband.h"
 #include "storage/mapped_engine.h"
@@ -274,6 +275,58 @@ TEST(Differential, AllExecutionPathsAgree) {
       return;  // one broken draw is enough signal; keep the log readable
     }
   }
+}
+
+// Observability must be read-only: a draw executed with span tracing and
+// the slow-query log armed returns results bit-identical to the untraced
+// run — same ids, same cells, same witnesses, same execution counters.
+TEST(Differential, TracingDoesNotPerturbExecution) {
+  const uint64_t base_seed = EnvSeed();
+  Rng rng(base_seed);
+  const Draw d = NextDraw(rng, 1, base_seed);  // index 1: a UTK2/JAA draw
+  SCOPED_TRACE("traced draw: " + d.Describe());
+
+  Dataset data = Generate(d.dist, d.n, d.dim, d.seed);
+  Engine engine((Dataset(data)));
+  const QuerySpec spec = SpecFor(d);
+
+  QueryResult plain = engine.Run(spec);
+  ASSERT_TRUE(plain.ok) << plain.error;
+
+  obs::ClearTrace();
+  obs::SetTracingEnabled(true);
+  obs::SetSlowQueryThresholdMs(0.0);
+  std::vector<std::string> slow_lines;
+  obs::SetSlowQuerySink([&slow_lines](const std::string& s) {
+    slow_lines.push_back(s);
+  });
+  QueryResult traced = engine.Run(spec);
+  obs::SetTracingEnabled(false);
+  obs::SetSlowQueryThresholdMs(-1.0);
+  obs::SetSlowQuerySink(nullptr);
+
+  ASSERT_TRUE(traced.ok) << traced.error;
+  EXPECT_EQ(traced.ids, plain.ids);
+  EXPECT_EQ(traced.algorithm, plain.algorithm);
+  ASSERT_EQ(traced.utk2.cells.size(), plain.utk2.cells.size());
+  for (size_t c = 0; c < traced.utk2.cells.size(); ++c) {
+    EXPECT_EQ(traced.utk2.cells[c].topk, plain.utk2.cells[c].topk);
+    EXPECT_EQ(traced.utk2.cells[c].witness, plain.utk2.cells[c].witness);
+  }
+  // Deterministic execution counters match exactly (elapsed_ms and
+  // peak_bytes may differ; everything the algorithms count must not).
+  EXPECT_EQ(traced.stats.candidates, plain.stats.candidates);
+  EXPECT_EQ(traced.stats.lp_calls, plain.stats.lp_calls);
+  EXPECT_EQ(traced.stats.rdom_tests, plain.stats.rdom_tests);
+  EXPECT_EQ(traced.stats.cells_created, plain.stats.cells_created);
+  EXPECT_EQ(traced.stats.halfspaces_inserted,
+            plain.stats.halfspaces_inserted);
+  EXPECT_EQ(traced.stats.heap_pops, plain.stats.heap_pops);
+  // And the instrumentation itself observed the run: spans were recorded,
+  // the slow-query log fired exactly once.
+  EXPECT_GT(obs::TraceEventCount(), 0u);
+  EXPECT_EQ(slow_lines.size(), 1u);
+  obs::ClearTrace();
 }
 
 }  // namespace

@@ -158,6 +158,62 @@ TEST(Stats, CsvRoundTrips) {
   EXPECT_FALSE(QueryStats::FromCsvRow(bad).has_value());
 }
 
+TEST(Stats, SerializationCoversEveryMember) {
+  // Drift guard (pairs with the static_assert in stats.cc): QueryStats is
+  // exactly N int64 counters followed by one double, so fill every counter
+  // word with a distinct pattern and prove the CSV path carries each one.
+  // A field added without extending CsvRow/FromCsvRow comes back zero here.
+  constexpr size_t kWords =
+      (sizeof(QueryStats) - sizeof(double)) / sizeof(int64_t);
+  static_assert(kWords * sizeof(int64_t) + sizeof(double) ==
+                    sizeof(QueryStats),
+                "QueryStats must be int64 counters + trailing double");
+
+  QueryStats s;
+  auto words = [](QueryStats* q) {
+    return reinterpret_cast<int64_t*>(q);  // standard-layout, all-int64 head
+  };
+  for (size_t w = 0; w < kWords; ++w) words(&s)[w] = 1000 + 7 * (int64_t)w;
+  s.elapsed_ms = 0.125;
+
+  // Header arity matches the member count (counters + elapsed_ms).
+  const std::string header = QueryStats::CsvHeader();
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            static_cast<long>(kWords));  // kWords+1 fields -> kWords commas
+
+  auto parsed = QueryStats::FromCsvRow(s.CsvRow());
+  ASSERT_TRUE(parsed.has_value());
+  for (size_t w = 0; w < kWords; ++w)
+    EXPECT_EQ(words(&*parsed)[w], 1000 + 7 * (int64_t)w) << "word " << w;
+  EXPECT_DOUBLE_EQ(parsed->elapsed_ms, 0.125);
+
+  // ToString names every member: each distinct value must appear.
+  const std::string str = s.ToString();
+  for (size_t w = 0; w < kWords; ++w)
+    EXPECT_NE(str.find("=" + std::to_string(1000 + 7 * (int64_t)w)),
+              std::string::npos)
+        << "word " << w << " missing from ToString";
+
+  // operator+= touches every member: summing s into a zero stats can leave
+  // no word at zero (counters sum, gauges max — either way the distinct
+  // nonzero value must land).
+  QueryStats zero;
+  zero += s;
+  for (size_t w = 0; w < kWords; ++w)
+    EXPECT_EQ(words(&zero)[w], words(&s)[w]) << "word " << w;
+  EXPECT_DOUBLE_EQ(zero.elapsed_ms, 0.125);
+
+  // Merge agrees member-for-member with the fold.
+  const QueryStats parts[] = {s, s};
+  QueryStats merged = QueryStats::Merge(parts);
+  QueryStats folded;
+  folded += s;
+  folded += s;
+  for (size_t w = 0; w < kWords; ++w)
+    EXPECT_EQ(words(&merged)[w], words(&folded)[w]) << "word " << w;
+  EXPECT_DOUBLE_EQ(merged.elapsed_ms, folded.elapsed_ms);
+}
+
 TEST(Stats, TimerMeasuresElapsed) {
   Timer t;
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -1,18 +1,31 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the columnar data plane.
+"""CI perf-regression gate.
 
-Reads a google-benchmark JSON report (BENCH_bench_ablation.json, emitted by
-any bench binary when UTK_BENCH_JSON_DIR is set) and compares the SoA-vs-AoS
-speedup of each kernel pair against the checked-in baseline
-(bench/baselines/bench_ablation.json). The gate is ratio-based on purpose:
-absolute throughput varies wildly across CI runners, but the AoS and SoA
-variants run back to back on the same machine in the same process, so their
-ratio is stable. A pair fails when its measured speedup falls more than
-TOLERANCE below the baseline speedup — i.e. the SoA kernel's relative
-throughput regressed by > 20%.
+Reads a google-benchmark JSON report (BENCH_<binary>.json, emitted by any
+bench binary when UTK_BENCH_JSON_DIR is set) and checks it against a
+checked-in baseline (bench/baselines/<binary>.json). Two gate kinds:
+
+  "pairs" — speedup FLOORS for the columnar data plane and the persistence
+  tier: each pair names a slow ("aos") and fast ("soa") benchmark and the
+  baseline speedup between them. The pair fails when the measured speedup
+  falls more than TOLERANCE below baseline — i.e. the fast variant's
+  relative throughput regressed by > 20%.
+
+  "ratio_gates" — overhead CEILINGS for the observability layer: each gate
+  names a "base" and "test" benchmark and a max_ratio; the gate fails when
+  test/base exceeds it (no extra tolerance — the ceiling IS the tolerance).
+
+Both kinds are ratio-based on purpose: absolute throughput varies wildly
+across CI runners, but the two sides of a pair run back to back on the same
+machine in the same process, so their ratio is stable. When a benchmark ran
+with --benchmark_repetitions, the median aggregate is preferred over any
+single iteration time.
+
+Every line printed carries the measured value AND its delta vs the baseline,
+so a passing-but-drifting pair is visible in the CI log before it fails.
 
 Usage: check_bench.py <report.json> <baseline.json>
-Exit status: 0 all pairs within tolerance, 1 regression or missing data.
+Exit status: 0 all gates within bounds, 1 regression or missing data.
 
 Stdlib only — no pip dependencies.
 """
@@ -20,16 +33,108 @@ Stdlib only — no pip dependencies.
 import json
 import sys
 
-TOLERANCE = 0.20  # fail when speedup < (1 - TOLERANCE) * baseline speedup
+TOLERANCE = 0.20  # pairs fail when speedup < (1 - TOLERANCE) * baseline
 
 
 def real_times(report):
-    """name -> real_time for plain (non-aggregate) benchmark entries."""
-    out = {}
+    """Measurement table, preferring repetition medians over single runs.
+
+    Each benchmark contributes its real_time under its name, plus every
+    user counter under "name:counter" (interleaved pair benchmarks export
+    both variants' times as counters of one run). Aggregate entries
+    (run_type "aggregate") are keyed by their run_name with any
+    "/repeats:N" suffix stripped, so baselines name benchmarks the way
+    they are registered.
+    """
+    iterations, medians = {}, {}
     for b in report.get("benchmarks", []):
-        if b.get("run_type", "iteration") == "iteration":
-            out[b["name"]] = float(b["real_time"])
+        kind = b.get("run_type", "iteration")
+        if kind == "iteration":
+            name = b["name"].split("/repeats:")[0]
+            iterations.setdefault(name, float(b["real_time"]))
+            for cname, cval in counters_of(b).items():
+                iterations.setdefault(f"{name}:{cname}", float(cval))
+        elif kind == "aggregate" and b.get("aggregate_name") == "median":
+            name = b.get("run_name", b["name"]).split("/repeats:")[0]
+            medians[name] = float(b["real_time"])
+            for cname, cval in counters_of(b).items():
+                medians[f"{name}:{cname}"] = float(cval)
+    out = dict(iterations)
+    out.update(medians)  # medians win when both exist
     return out
+
+
+# Numeric fields google-benchmark itself writes into every entry; anything
+# numeric beyond these is a user counter (older library versions nest them
+# under "counters", newer ones inline them as top-level keys).
+_SCHEMA_NUMERIC = {
+    "iterations",
+    "real_time",
+    "cpu_time",
+    "repetitions",
+    "repetition_index",
+    "threads",
+    "family_index",
+    "per_family_instance_index",
+    "rms",
+}
+
+
+def counters_of(entry):
+    nested = entry.get("counters")
+    if isinstance(nested, dict):
+        return nested
+    return {
+        k: v
+        for k, v in entry.items()
+        if isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and k not in _SCHEMA_NUMERIC
+    }
+
+
+def check_pairs(times, baseline):
+    failures = 0
+    for pair in baseline.get("pairs", []):
+        aos, soa = pair["aos"], pair["soa"]
+        want = float(pair["baseline_speedup"])
+        if aos not in times or soa not in times:
+            print(f"FAIL {pair['name']}: report is missing {aos} or {soa}")
+            failures += 1
+            continue
+        got = times[aos] / times[soa]
+        floor = (1.0 - TOLERANCE) * want
+        delta = 100.0 * (got - want) / want
+        verdict = "ok" if got >= floor else "FAIL"
+        print(
+            f"{verdict} {pair['name']}: speedup {got:.2f}x "
+            f"(baseline {want:.2f}x, {delta:+.1f}%, floor {floor:.2f}x)"
+        )
+        if got < floor:
+            failures += 1
+    return failures
+
+
+def check_ratio_gates(times, baseline):
+    failures = 0
+    for gate in baseline.get("ratio_gates", []):
+        base, test = gate["base"], gate["test"]
+        ceiling = float(gate["max_ratio"])
+        if base not in times or test not in times:
+            print(f"FAIL {gate['name']}: report is missing {base} or {test}")
+            failures += 1
+            continue
+        got = times[test] / times[base]
+        overhead = 100.0 * (got - 1.0)
+        budget = 100.0 * (ceiling - 1.0)
+        verdict = "ok" if got <= ceiling else "FAIL"
+        print(
+            f"{verdict} {gate['name']}: overhead {overhead:+.2f}% "
+            f"(ratio {got:.4f}, ceiling {ceiling:.4f} = {budget:+.2f}%)"
+        )
+        if got > ceiling:
+            failures += 1
+    return failures
 
 
 def main(argv):
@@ -41,23 +146,11 @@ def main(argv):
     with open(argv[2]) as f:
         baseline = json.load(f)
 
-    failures = 0
-    for pair in baseline["pairs"]:
-        aos, soa = pair["aos"], pair["soa"]
-        want = float(pair["baseline_speedup"])
-        if aos not in times or soa not in times:
-            print(f"FAIL {pair['name']}: report is missing {aos} or {soa}")
-            failures += 1
-            continue
-        got = times[aos] / times[soa]
-        floor = (1.0 - TOLERANCE) * want
-        verdict = "ok" if got >= floor else "FAIL"
-        print(
-            f"{verdict} {pair['name']}: speedup {got:.2f}x "
-            f"(baseline {want:.2f}x, floor {floor:.2f}x)"
-        )
-        if got < floor:
-            failures += 1
+    if not baseline.get("pairs") and not baseline.get("ratio_gates"):
+        print(f"FAIL {argv[2]}: baseline declares no pairs or ratio_gates")
+        return 1
+    failures = check_pairs(times, baseline)
+    failures += check_ratio_gates(times, baseline)
     return 1 if failures else 0
 
 
