@@ -27,6 +27,13 @@
 //             [--sigma S] [--seed SEED] [--box lo1,hi1,...] [--algo ...]
 //             [--threads T] [--shards S] [--tiles T] [--partitioner ...]
 //             answer a batch of queries (random boxes unless --box is given)
+//   explain   --data FILE.csv --k K --box ...  [--mode utk1|utk2]
+//             [--algo ...] [--shards S] [--tiles T] [--analyze]
+//             render the plan tree (EXPLAIN); --analyze runs the query under
+//             tracing and annotates the tree with actual rows/times
+//   history   --file FILE | --stats-dir DIR  [--csv] [--limit N]
+//             dump (--csv) or aggregate the persistent query-stats history
+//             written by --stats-dir
 //   stats     [<subcommand> --flags...]
 //             run any other subcommand, then pretty-print the process-wide
 //             metric registry (src/obs/) to stdout; bare `stats` prints the
@@ -40,6 +47,10 @@
 //                        registry when the command finishes
 //   --slow-ms T          log queries slower than T ms to stderr (spec
 //                        fingerprint + stats + top spans)
+//   --stats-dir DIR      append one history row per query to
+//                        DIR/history.utkh (read back with `history`)
+//   --planner-model FILE load calibrated cost-model coefficients (see
+//                        tools/calibrate_planner.py) before building engines
 //
 // All UTK dispatch goes through the QueryEngine interface: the CLI builds
 // one engine per dataset (R-tree included) and submits a declarative
@@ -81,6 +92,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "api/engine.h"
 #include "core/extensions.h"
 #include "data/generator.h"
@@ -89,6 +102,7 @@
 #include "data/workload.h"
 #include "dist/partitioned_engine.h"
 #include "live/live_engine.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -100,9 +114,15 @@ using namespace utk;
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) break;
-    flags[argv[i] + 2] = argv[i + 1];
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+      i += 2;
+    } else {
+      flags[argv[i] + 2] = "1";  // valueless boolean flag (e.g. --analyze)
+      i += 1;
+    }
   }
   return flags;
 }
@@ -124,9 +144,11 @@ std::vector<Scalar> ParseList(const std::string& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: utk_cli <generate|utk1|utk2|topk|immutable|serve|"
-               "updates|save|open|compact|run|stats> [--flags]\n"
+               "updates|save|open|compact|run|explain|history|stats> "
+               "[--flags]\n"
                "observability: --trace-out FILE --metrics-out FILE "
-               "--slow-ms T (any subcommand)\n"
+               "--slow-ms T --stats-dir DIR --planner-model FILE "
+               "(any subcommand)\n"
                "see the header of examples/utk_cli.cpp for details\n");
   return 2;
 }
@@ -899,6 +921,147 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
   return batch.failed == 0 ? 0 : 1;
 }
 
+/// EXPLAIN / EXPLAIN ANALYZE: renders the engine's plan tree for one query.
+/// With --analyze the query actually runs under tracing and the same tree
+/// comes back annotated with per-operator actual rows/times.
+int CmdExplain(const std::map<std::string, std::string>& flags) {
+  Engine loaded = EngineOrDie(flags);
+  const int pref_dim = loaded.pref_dim();
+
+  QuerySpec spec;
+  spec.mode = flags.count("mode") && flags.at("mode") == "utk2"
+                  ? QueryMode::kUtk2
+                  : QueryMode::kUtk1;
+  spec.k = flags.count("k") ? std::atoi(flags.at("k").c_str()) : 10;
+  spec.region = BoxOrDie(flags, pref_dim);
+  if (flags.count("algo")) {
+    auto algo = ParseAlgorithm(flags.at("algo"));
+    if (!algo.has_value()) {
+      std::fprintf(stderr, "error: unknown --algo %s\n",
+                   flags.at("algo").c_str());
+      return 2;
+    }
+    spec.algorithm = *algo;
+  }
+
+  const DistConfig dist = DistConfigFromFlags(flags);
+  std::shared_ptr<const QueryEngine> engine;
+  if (WantsDist(dist)) {
+    engine = std::make_shared<const PartitionedEngine>(
+        std::make_shared<const Engine>(std::move(loaded)), dist);
+  } else {
+    engine = std::make_shared<const Engine>(std::move(loaded));
+  }
+
+  const bool analyze = flags.count("analyze") && flags.at("analyze") != "0";
+  if (!analyze) {
+    std::printf("%s", RenderPlan(engine->Explain(spec)).c_str());
+    return 0;
+  }
+  QueryResult r;
+  const PlanNode tree = engine->ExplainAnalyze(spec, &r);
+  // One node per recorded span is too much terminal for a human: roll
+  // same-op siblings (per-candidate refinement spans) into aggregates.
+  std::printf("%s", RenderPlan(CoalescePlan(tree)).c_str());
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[stats] %s\n", r.stats.ToString().c_str());
+  return 0;
+}
+
+/// Resolves the history file the other flags point at: --file wins, else
+/// --stats-dir DIR means DIR/history.utkh (the path engines append to when
+/// the global --stats-dir flag is up).
+std::string HistoryPathOrDie(const std::map<std::string, std::string>& flags) {
+  if (flags.count("file")) return flags.at("file");
+  if (flags.count("stats-dir")) return flags.at("stats-dir") + "/history.utkh";
+  std::fprintf(stderr, "error: history needs --file FILE or --stats-dir DIR\n");
+  std::exit(2);
+}
+
+/// Dumps (--csv) or aggregates the persistent query-stats history.
+int CmdHistory(const std::map<std::string, std::string>& flags) {
+  const std::string path = HistoryPathOrDie(flags);
+  std::string error;
+  std::optional<obs::HistoryReplay> replay = obs::ReadHistory(path, &error);
+  if (!replay.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<obs::HistoryRecord>& recs = replay->records;
+
+  if (flags.count("csv")) {
+    std::printf(
+        "ts_us,fingerprint,mode,k,n,pref_dim,region_width,ran_algorithm,"
+        "planned_algorithm,plan_reason,%s\n",
+        QueryStats::CsvHeader().c_str());
+    for (const obs::HistoryRecord& r : recs) {
+      std::printf("%lld,%s,%s,%d,%lld,%d,%.9g,%s,%s,%s,%s\n",
+                  static_cast<long long>(r.ts_us), r.fingerprint.c_str(),
+                  QueryModeName(static_cast<QueryMode>(r.mode)), r.k,
+                  static_cast<long long>(r.n), r.pref_dim, r.region_width,
+                  AlgorithmName(static_cast<Algorithm>(r.ran_algorithm)),
+                  AlgorithmName(static_cast<Algorithm>(r.planned_algorithm)),
+                  PlanReasonName(static_cast<PlanReason>(r.plan_reason)),
+                  r.stats_csv.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("history %s: %zu rows (%llu clean bytes, %llu dropped)\n",
+              path.c_str(), recs.size(),
+              static_cast<unsigned long long>(replay->valid_bytes),
+              static_cast<unsigned long long>(replay->dropped_bytes));
+  // Aggregate per (mode, ran algorithm, plan reason).
+  struct Agg {
+    int64_t count = 0;
+    double total_ms = 0;
+    double max_ms = 0;
+  };
+  std::map<std::string, Agg> groups;
+  for (const obs::HistoryRecord& r : recs) {
+    std::string key =
+        std::string(QueryModeName(static_cast<QueryMode>(r.mode))) + "/" +
+        AlgorithmName(static_cast<Algorithm>(r.ran_algorithm)) + "/" +
+        PlanReasonName(static_cast<PlanReason>(r.plan_reason));
+    auto stats = QueryStats::FromCsvRow(r.stats_csv);
+    Agg& a = groups[key];
+    ++a.count;
+    if (stats.has_value()) {
+      a.total_ms += stats->elapsed_ms;
+      a.max_ms = std::max(a.max_ms, stats->elapsed_ms);
+    }
+  }
+  for (const auto& [key, a] : groups) {
+    std::printf("  %-32s count=%-6lld mean_ms=%-10.3f max_ms=%.3f\n",
+                key.c_str(), static_cast<long long>(a.count),
+                a.count > 0 ? a.total_ms / static_cast<double>(a.count) : 0.0,
+                a.max_ms);
+  }
+  const int limit =
+      flags.count("limit") ? std::atoi(flags.at("limit").c_str()) : 10;
+  const size_t first = recs.size() > static_cast<size_t>(std::max(limit, 0))
+                           ? recs.size() - static_cast<size_t>(limit)
+                           : 0;
+  if (first < recs.size()) std::printf("last %zu:\n", recs.size() - first);
+  for (size_t i = first; i < recs.size(); ++i) {
+    const obs::HistoryRecord& r = recs[i];
+    auto stats = QueryStats::FromCsvRow(r.stats_csv);
+    std::printf("  %s k=%-3d n=%-8lld via=%-5s reason=%-18s ms=%.3f",
+                r.fingerprint.c_str(), r.k, static_cast<long long>(r.n),
+                AlgorithmName(static_cast<Algorithm>(r.ran_algorithm)),
+                PlanReasonName(static_cast<PlanReason>(r.plan_reason)),
+                stats.has_value() ? stats->elapsed_ms : 0.0);
+    if (!r.top_spans.empty())
+      std::printf(" top=%s:%.3f", r.top_spans[0].first.c_str(),
+                  r.top_spans[0].second);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 /// Dispatches one subcommand. `stats` recurses: it runs the subcommand that
 /// follows it on the command line, then pretty-prints the metric registry.
 int Dispatch(const std::string& cmd, int argc, char** argv) {
@@ -914,6 +1077,8 @@ int Dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "open") return CmdOpen(flags);
   if (cmd == "compact") return CmdCompact(flags);
   if (cmd == "run") return CmdRun(flags);
+  if (cmd == "explain") return CmdExplain(flags);
+  if (cmd == "history") return CmdHistory(flags);
   if (cmd == "stats") {
     int rc = 0;
     if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
@@ -933,17 +1098,57 @@ int main(int argc, char** argv) {
 
   // Observability flags may ride on any subcommand, at any position (the
   // per-command ParseFlags also sees them; commands ignore what they don't
-  // know). Tracing / slow-query logging must be on before dispatch.
-  std::string trace_out, metrics_out;
+  // know). Tracing / slow-query logging / the history sink / the planner
+  // model must all be up before dispatch (engines capture the cost model at
+  // construction).
+  std::string trace_out, metrics_out, stats_dir, planner_model;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--stats-dir") == 0) stats_dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--planner-model") == 0)
+      planner_model = argv[i + 1];
     if (std::strcmp(argv[i], "--slow-ms") == 0)
       utk::obs::SetSlowQueryThresholdMs(std::atof(argv[i + 1]));
   }
   if (!trace_out.empty()) utk::obs::SetTracingEnabled(true);
+  if (!planner_model.empty()) {
+    std::string error;
+    auto model = utk::CostModel::LoadFile(planner_model, &error);
+    if (!model.has_value()) {
+      std::fprintf(stderr, "error: --planner-model %s: %s\n",
+                   planner_model.c_str(), error.c_str());
+      return 2;
+    }
+    utk::SetDefaultCostModel(
+        std::make_shared<const utk::CostModel>(std::move(*model)));
+  }
+  std::shared_ptr<utk::obs::HistoryWriter> history;
+  if (!stats_dir.empty() && std::string(argv[1]) != "history") {
+    ::mkdir(stats_dir.c_str(), 0755);  // EEXIST is fine; Open reports others
+    std::string error;
+    history = utk::obs::HistoryWriter::Open(stats_dir + "/history.utkh",
+                                            utk::obs::kHistoryDefaultMaxBytes,
+                                            &error);
+    if (history == nullptr) {
+      std::fprintf(stderr, "error: --stats-dir %s: %s\n", stats_dir.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    utk::obs::SetQueryHistory(history);
+  }
 
   const int rc = Dispatch(argv[1], argc, argv);
+
+  if (history != nullptr) {
+    utk::obs::SetQueryHistory(nullptr);
+    std::fprintf(stderr, "[obs] appended %lld history rows to %s\n",
+                 static_cast<long long>(history->records()),
+                 history->path().c_str());
+    if (!history->ok())
+      std::fprintf(stderr, "[obs] history writer failed: %s\n",
+                   history->last_error().c_str());
+  }
 
   if (!trace_out.empty()) {
     std::ofstream out(trace_out, std::ios::binary);

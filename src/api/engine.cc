@@ -27,7 +27,10 @@ QueryResult Fail(const QuerySpec& spec, std::string why) {
 }  // namespace
 
 Engine::Engine(Dataset data)
-    : data_(std::move(data)), tree_(RTree::BulkLoad(data_)), cols_(data_) {}
+    : data_(std::move(data)),
+      tree_(RTree::BulkLoad(data_)),
+      cols_(data_),
+      model_(DefaultCostModel()) {}
 
 std::optional<Engine> Engine::FromCsvFile(const std::string& path) {
   std::optional<Dataset> data = LoadCsvFile(path);
@@ -36,8 +39,26 @@ std::optional<Engine> Engine::FromCsvFile(const std::string& path) {
 }
 
 Algorithm Engine::Plan(const QuerySpec& spec) const {
-  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
-  return ChooseAlgorithm(spec.mode, size(), pref_dim());
+  return Decide(spec).algorithm;
+}
+
+PlanDecision Engine::Decide(const QuerySpec& spec) const {
+  return DecidePlan(model_.get(), spec, size(), pref_dim());
+}
+
+PlanNode Engine::Explain(const QuerySpec& spec) const {
+  PlanNode root;
+  root.op = "engine.run";
+  if (std::optional<std::string> error = Validate(spec)) {
+    root.detail = "invalid: " + *error;
+    return root;
+  }
+  const PlanDecision d = Decide(spec);
+  root.detail = PlanDetail(d, spec.k, size());
+  root.est_ms = d.est_ms;
+  root.children =
+      AlgorithmPlanChildren(d.algorithm, spec.mode, size(), spec.k, pref_dim());
+  return root;
 }
 
 std::optional<std::string> Engine::Validate(const QuerySpec& spec) const {
@@ -59,10 +80,12 @@ std::optional<std::string> Engine::Validate(const QuerySpec& spec) const {
 QueryResult Engine::Run(const QuerySpec& spec) const {
   UTK_SPAN("engine.run");
   obs::QueryLogScope slow_log("engine.run");
+  QueryHistoryScope history;
   if (std::optional<std::string> error = Validate(spec))
     return Fail(spec, std::move(*error));
 
-  const Algorithm algo = Plan(spec);
+  const PlanDecision decision = Decide(spec);
+  const Algorithm algo = decision.algorithm;
   QueryResult r;
   r.mode = spec.mode;
   r.algorithm = algo;
@@ -112,6 +135,12 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
     }
   }
   r.ok = true;
+  r.stats.planned_algorithm = static_cast<int64_t>(algo);
+  r.stats.plan_reason = static_cast<int64_t>(decision.reason);
+
+  // The mispredict rate over a workload is the planner's live quality
+  // signal (gated in tools/check_bench.py).
+  NotePlanOutcome(decision, r.stats.elapsed_ms);
 
   static obs::Counter& queries =
       obs::MetricRegistry::Global().GetCounter("utk_engine_queries_total");
@@ -120,6 +149,7 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
   queries.Add();
   latency.Observe(static_cast<int64_t>(r.stats.elapsed_ms * 1000.0));
   slow_log.Finish(r.stats, [&spec] { return SpecFingerprint(spec); });
+  history.Record(spec, r, size(), pref_dim());
   return r;
 }
 

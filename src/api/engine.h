@@ -10,11 +10,14 @@
 #ifndef UTK_API_ENGINE_H_
 #define UTK_API_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/planner.h"
 #include "api/query.h"
 #include "api/query_engine.h"
 #include "common/types.h"
@@ -72,6 +75,22 @@ class Engine final : public QueryEngine {
   /// engine's dataset, leaves explicit choices untouched.
   Algorithm Plan(const QuerySpec& spec) const override;
 
+  /// The full planning verdict behind Plan: algorithm, reason, the cost
+  /// model's estimate and runner-up when one is installed.
+  PlanDecision Decide(const QuerySpec& spec) const;
+
+  /// EXPLAIN: engine.run over the planned algorithm's filter/refine
+  /// subtree, with the decision (and its cost estimate) on the root.
+  PlanNode Explain(const QuerySpec& spec) const override;
+
+  /// Replaces the cost model captured at construction (from
+  /// DefaultCostModel()). Call before sharing the engine across threads —
+  /// the engine is immutable-after-setup, not synchronized.
+  void set_cost_model(std::shared_ptr<const CostModel> model) {
+    model_ = std::move(model);
+  }
+  const CostModel* cost_model() const { return model_.get(); }
+
   /// The rejection rules Run applies before executing, without running:
   /// nullopt when `spec` would execute, otherwise the exact diagnostic Run
   /// would return. The serving layer uses this to bypass its cache for
@@ -97,6 +116,7 @@ class Engine final : public QueryEngine {
   Dataset data_;
   RTree tree_;
   ColumnStore cols_;
+  std::shared_ptr<const CostModel> model_;
 };
 
 }  // namespace utk

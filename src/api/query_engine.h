@@ -17,8 +17,10 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/plan.h"
 #include "api/query.h"
 #include "common/types.h"
 
@@ -59,6 +61,30 @@ class QueryEngine {
                           const PartialResultSink& sink) const {
     (void)sink;
     return Run(spec);
+  }
+
+  /// EXPLAIN: the static operator tree `spec` would execute — operator
+  /// names from the span vocabulary (DESIGN.md §12), the planned algorithm
+  /// and the planner's reason in the root detail, cardinality/cost
+  /// estimates where the engine can make them. Never runs the query; for a
+  /// spec Validate rejects, the root detail carries the diagnostic.
+  virtual PlanNode Explain(const QuerySpec& spec) const = 0;
+
+  /// EXPLAIN ANALYZE: runs the query with span tracing on, rebuilds the
+  /// *executed* operator tree from the recorded spans, and grafts Explain's
+  /// estimates onto it (api/plan.h). `result`, when non-null, receives the
+  /// query's answer — ANALYZE pays the full execution. Not safe to run
+  /// concurrently with other traced queries (their spans interleave).
+  virtual PlanNode ExplainAnalyze(const QuerySpec& spec,
+                                  QueryResult* result = nullptr) const {
+    const PlanNode static_plan = Explain(spec);
+    QueryResult local;
+    PlanNode analyzed = AnalyzeWithTrace(static_plan, [&]() {
+      local = Run(spec);
+      return local.stats.elapsed_ms;
+    });
+    if (result != nullptr) *result = std::move(local);
+    return analyzed;
   }
 
   /// The plain top-k for reduced weight vector `w`.

@@ -14,8 +14,8 @@ constexpr const char* kCsvHeader =
     "candidates,lp_calls,rdom_tests,cells_created,halfspaces_inserted,"
     "drills,verify_calls,heap_pops,peak_bytes,cache_hits,cache_semantic_hits,"
     "cache_misses,cache_evictions,epoch,rows_materialized,mapped_bytes,"
-    "elapsed_ms";
-constexpr int kCsvFields = 17;
+    "planned_algorithm,plan_reason,elapsed_ms";
+constexpr int kCsvFields = 19;
 
 // Drift guard: every QueryStats member must appear in kCsvHeader,
 // CounterFields(), operator+=, and ToString(). A new field changes
@@ -46,7 +46,9 @@ std::vector<int64_t QueryStats::*> CounterFields() {
           &QueryStats::cache_evictions,
           &QueryStats::epoch,
           &QueryStats::rows_materialized,
-          &QueryStats::mapped_bytes};
+          &QueryStats::mapped_bytes,
+          &QueryStats::planned_algorithm,
+          &QueryStats::plan_reason};
 }
 
 }  // namespace
@@ -68,6 +70,8 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   epoch = std::max(epoch, o.epoch);
   rows_materialized += o.rows_materialized;
   mapped_bytes = std::max(mapped_bytes, o.mapped_bytes);
+  planned_algorithm = std::max(planned_algorithm, o.planned_algorithm);
+  plan_reason = std::max(plan_reason, o.plan_reason);
   elapsed_ms += o.elapsed_ms;
   return *this;
 }
@@ -89,7 +93,9 @@ std::string QueryStats::ToString() const {
      << " cache_misses=" << cache_misses
      << " cache_evictions=" << cache_evictions << " epoch=" << epoch
      << " rows_materialized=" << rows_materialized
-     << " mapped_bytes=" << mapped_bytes << " elapsed_ms=" << elapsed_ms;
+     << " mapped_bytes=" << mapped_bytes
+     << " planned_algorithm=" << planned_algorithm
+     << " plan_reason=" << plan_reason << " elapsed_ms=" << elapsed_ms;
   return os.str();
 }
 

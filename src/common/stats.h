@@ -43,6 +43,13 @@ struct QueryStats {
   /// Bytes of segment file the engine serves zero-copy (mmap'd columns +
   /// liveness bitmap). A gauge like peak_bytes — Merge takes the max.
   int64_t mapped_bytes = 0;
+  // Planner provenance (src/api/planner.h): the Algorithm enum value the
+  // planner resolved kAuto to (0 = unset / explicit kAuto never runs) and
+  // the PlanReason enum value saying WHY (heuristic, cost model, fallback).
+  // Both are gauges — Merge takes the max, so a batch total reports the
+  // "most informed" decision seen rather than a meaningless sum.
+  int64_t planned_algorithm = 0;  ///< Algorithm the planner chose (enum value)
+  int64_t plan_reason = 0;        ///< PlanReason behind the choice (enum value)
   double elapsed_ms = 0.0;       ///< wall-clock time of the whole query
 
   QueryStats& operator+=(const QueryStats& o);

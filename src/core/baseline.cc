@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "skyline/onion.h"
 #include "skyline/skyband.h"
 
@@ -40,10 +41,13 @@ Utk1Result Baseline::RunUtk1(const Dataset& data, const RTree& tree,
   Timer timer;
   std::vector<int32_t> cands =
       FilterCandidates(data, tree, k, &result.stats, cols);
-  for (int32_t p : cands) {
-    KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/true,
-                         &result.stats);
-    if (kr.qualifies) result.ids.push_back(p);
+  {
+    UTK_SPAN_VAL("baseline.refine", static_cast<int64_t>(cands.size()));
+    for (int32_t p : cands) {
+      KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/true,
+                           &result.stats);
+      if (kr.qualifies) result.ids.push_back(p);
+    }
   }
   std::sort(result.ids.begin(), result.ids.end());
   result.stats.elapsed_ms = timer.ElapsedMs();
@@ -57,11 +61,14 @@ BaselineUtk2Result Baseline::RunUtk2(const Dataset& data, const RTree& tree,
   Timer timer;
   std::vector<int32_t> cands =
       FilterCandidates(data, tree, k, &result.stats, cols);
-  for (int32_t p : cands) {
-    KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/false,
-                         &result.stats);
-    if (!kr.topk_cells.empty()) {
-      result.records.push_back({p, std::move(kr.topk_cells)});
+  {
+    UTK_SPAN_VAL("baseline.refine", static_cast<int64_t>(cands.size()));
+    for (int32_t p : cands) {
+      KsprResult kr = Kspr(data, p, cands, r, k, /*early_exit=*/false,
+                           &result.stats);
+      if (!kr.topk_cells.empty()) {
+        result.records.push_back({p, std::move(kr.topk_cells)});
+      }
     }
   }
   result.stats.elapsed_ms = timer.ElapsedMs();

@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "geometry/linear.h"
+#include "obs/metrics.h"
 
 namespace utk {
 
@@ -13,6 +14,9 @@ std::optional<Vec> DrillVector(const AffineScore& objective,
     ++stats->lp_calls;
     ++stats->drills;
   }
+  static obs::Counter& probes = obs::MetricRegistry::Global().GetCounter(
+      "utk_drill_probes_total");
+  probes.Add();
   LpResult r = SolveLp(objective.coef, cons, /*maximize=*/true);
   if (r.status != LpStatus::kOptimal) return std::nullopt;
   return r.x;
@@ -22,6 +26,9 @@ std::vector<int> GraphTopK(const Dataset& data, const RSkybandResult& band,
                            const RDominanceGraph& g, const Bitset& mask,
                            const Vec& w, int k, QueryStats* stats) {
   if (stats != nullptr) ++stats->drills;
+  static obs::Counter& walks = obs::MetricRegistry::Global().GetCounter(
+      "utk_drill_graph_walks_total");
+  walks.Add();
   struct Entry {
     Scalar score;
     int node;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geometry/linear.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace utk {
@@ -12,6 +13,11 @@ KsprResult Kspr(const Dataset& data, int32_t p,
                 const ConvexRegion& r, int k, bool early_exit,
                 QueryStats* stats) {
   UTK_SPAN_VAL("kspr.decide", static_cast<int64_t>(competitors.size()));
+  static obs::Counter& decides =
+      obs::MetricRegistry::Global().GetCounter("utk_kspr_decides_total");
+  static obs::Counter& early_exits =
+      obs::MetricRegistry::Global().GetCounter("utk_kspr_early_exits_total");
+  decides.Add();
   KsprResult result;
   CellArrangement arr(r, stats);
   arr.set_freeze_threshold(k);
@@ -32,6 +38,7 @@ KsprResult Kspr(const Dataset& data, int32_t p,
     arr.Insert(q, BetterOrEqual(data[q], data[p]));
     if (early_exit && arr.AllFrozen()) {
       // Every cell already has k competitors above p: disqualified.
+      early_exits.Add();
       return result;
     }
   }

@@ -6,6 +6,7 @@
 #include "core/topk.h"
 #include "geometry/linear.h"
 #include "geometry/lp.h"
+#include "obs/trace.h"
 #include "skyline/rdominance.h"
 
 namespace utk {
@@ -78,6 +79,7 @@ bool NaiveUtk1Member(const Dataset& data, int32_t p, const ConvexRegion& r,
 
 std::vector<int32_t> NaiveUtk1(const Dataset& data, const ConvexRegion& r,
                                int k) {
+  UTK_SPAN_VAL("naive.enumerate", static_cast<int64_t>(data.size()));
   std::vector<int32_t> out;
   for (const Record& p : data)
     if (NaiveUtk1Member(data, p.id, r, k)) out.push_back(p.id);

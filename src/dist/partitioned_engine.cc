@@ -186,16 +186,37 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   return Run(spec, &sink, nullptr);
 }
 
+int PartitionedEngine::EffectiveTiles(const QuerySpec& spec) const {
+  if (config_.tiles >= 1) return config_.tiles;
+  // Auto (tiles == 0): size the tiling against the model's own cost
+  // estimate; with no usable estimate the query stays untiled.
+  const int threads =
+      config_.threads <= 0 ? DefaultThreads() : config_.threads;
+  const PlanDecision d = DecidePlan(base_->cost_model(), spec, base_->size(),
+                                    pref_dim(), threads);
+  return d.tiles;
+}
+
 QueryResult PartitionedEngine::Run(const QuerySpec& spec,
                                    const PartialResultSink* sink,
                                    DistDetail* detail) const {
   // Invalid specs and algorithms outside the r-skyband pipeline (naive
   // oracle, SK/ON baselines) run on the embedded single engine unchanged —
-  // same diagnostics, same answers.
-  if (base_->Validate(spec).has_value()) return base_->Run(spec);
-  const Algorithm algo = base_->Plan(spec);
-  if (algo != Algorithm::kRsa && algo != Algorithm::kJaa)
-    return base_->Run(spec);
+  // same diagnostics, same answers. The history scope opens before the
+  // fallback so the nested Engine::Run never double-records the query.
+  QueryHistoryScope history;
+  if (base_->Validate(spec).has_value()) {
+    QueryResult r = base_->Run(spec);
+    history.Record(spec, r, size(), pref_dim());
+    return r;
+  }
+  const PlanDecision decision = base_->Decide(spec);
+  const Algorithm algo = decision.algorithm;
+  if (algo != Algorithm::kRsa && algo != Algorithm::kJaa) {
+    QueryResult r = base_->Run(spec);
+    history.Record(spec, r, size(), pref_dim());
+    return r;
+  }
 
   UTK_SPAN("dist.run");
   obs::QueryLogScope slow_log("dist.run");
@@ -204,7 +225,7 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   queries.Add();
   Timer timer;
   const std::vector<ConvexRegion> tiles =
-      TileRegion(spec.region, config_.tiles);
+      TileRegion(spec.region, EffectiveTiles(spec));
   const int T = static_cast<int>(tiles.size());
   const int S = num_shards();
   const int threads =
@@ -290,7 +311,13 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
   out.stats.candidates = 0;
   for (int64_t b : band_sizes) out.stats.candidates += b;
   out.stats.elapsed_ms = timer.ElapsedMs();
+  out.stats.planned_algorithm = static_cast<int64_t>(algo);
+  out.stats.plan_reason = static_cast<int64_t>(decision.reason);
   out.utk2.stats = out.stats;
+
+  // Same post-hoc model check as Engine::Run — the decomposed path never
+  // reaches it, so the mispredict rate must be counted here too.
+  NotePlanOutcome(decision, out.stats.elapsed_ms);
 
   if (detail != nullptr) {
     detail->tiles = tiles;
@@ -304,7 +331,54 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
       "utk_dist_query_latency_us");
   latency.Observe(static_cast<int64_t>(out.stats.elapsed_ms * 1000.0));
   slow_log.Finish(out.stats, [&spec] { return SpecFingerprint(spec); });
+  history.Record(spec, out, size(), pref_dim());
   return out;
+}
+
+PlanNode PartitionedEngine::Explain(const QuerySpec& spec) const {
+  // Fallback paths execute entirely on the embedded engine, so its tree is
+  // the honest EXPLAIN for them.
+  if (base_->Validate(spec).has_value()) return base_->Explain(spec);
+  const PlanDecision d = base_->Decide(spec);
+  if (d.algorithm != Algorithm::kRsa && d.algorithm != Algorithm::kJaa)
+    return base_->Explain(spec);
+
+  const int S = num_shards();
+  const int T =
+      static_cast<int>(TileRegion(spec.region, EffectiveTiles(spec)).size());
+  const int64_t band = EstimateBandSize(base_->size(), spec.k, pref_dim());
+
+  PlanNode root;
+  root.op = "dist.run";
+  root.detail = PlanDetail(d, spec.k, size()) + " shards=" +
+                std::to_string(S) + " tiles=" + std::to_string(T);
+  root.est_ms = d.est_ms;
+  if (S > 1) {
+    PlanNode seed;
+    seed.op = "dist.seed";
+    seed.detail = "pivot/corner top-k pruners";
+    seed.est_rows = spec.k;
+    root.children.push_back(std::move(seed));
+  }
+  PlanNode filter;
+  filter.op = "dist.shard_filter";
+  filter.detail = std::to_string(S) + " shard(s) x " + std::to_string(T) +
+                  " tile(s), seeded r-skyband";
+  filter.est_rows = band;
+  root.children.push_back(std::move(filter));
+  for (int t = 0; t < T; ++t) {
+    PlanNode tile;
+    tile.op = "dist.tile_refine";
+    tile.detail = "tile " + std::to_string(t) + ": pool re-filter + refine";
+    tile.est_rows = band;
+    PlanNode refine;
+    refine.op =
+        d.algorithm == Algorithm::kRsa ? "rsa.refine" : "jaa.refine";
+    refine.est_rows = band;
+    tile.children.push_back(std::move(refine));
+    root.children.push_back(std::move(tile));
+  }
+  return root;
 }
 
 }  // namespace utk

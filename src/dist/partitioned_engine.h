@@ -64,8 +64,10 @@
 
 namespace utk {
 
-/// Decomposition knobs. shards/tiles <= 1 disable the respective axis;
-/// threads <= 0 means DefaultThreads().
+/// Decomposition knobs. shards <= 1 / tiles == 1 disable the respective
+/// axis; tiles == 0 lets the calibrated planner size the tiling per query
+/// (see PartitionedEngine::EffectiveTiles — untiled when no cost model is
+/// usable); threads <= 0 means DefaultThreads().
 struct DistConfig {
   int shards = 1;
   int tiles = 1;
@@ -117,6 +119,17 @@ class PartitionedEngine final : public QueryEngine {
   std::vector<int32_t> TopK(const Vec& w, int k) const override {
     return base_->TopK(w, k);
   }
+
+  /// EXPLAIN: dist.run over seed / shard-filter / per-tile refine for specs
+  /// the decomposed pipeline answers; delegates to the embedded engine's
+  /// tree for fallback algorithms and invalid specs (matching what Run
+  /// actually executes).
+  PlanNode Explain(const QuerySpec& spec) const override;
+
+  /// The tile count Run will use for `spec`: config().tiles when >= 1,
+  /// otherwise (auto) the cost model's argmin of est/T + overhead*(T-1),
+  /// capped at the thread count — 1 when no model decision applies.
+  int EffectiveTiles(const QuerySpec& spec) const;
 
   /// Full-control entry point: optional per-tile sub-answer sink (invoked
   /// only when the region actually decomposes into > 1 tile) and optional

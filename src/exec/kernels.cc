@@ -3,6 +3,8 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace utk {
 
 void ScoreAll(const ColumnStore& cols, const Vec& w, Scalar* out) {
@@ -45,6 +47,12 @@ std::vector<int32_t> TopKScan(const ColumnStore& cols, const Vec& w, int k) {
   std::vector<int32_t> out;
   const int32_t n = cols.size();
   if (n == 0 || k <= 0) return out;
+  static obs::Counter& scans = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_topk_scans_total");
+  static obs::Counter& scan_rows = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_topk_scan_rows_total");
+  scans.Add();
+  scan_rows.Add(n);
 
   struct Entry {
     Scalar score;
@@ -112,6 +120,12 @@ inline bool RowDominates(const ColumnStore& cols, int32_t r, int32_t j,
 void DominatedCounts(const ColumnStore& cols, std::span<const int32_t> rows,
                      std::span<const int32_t> refs, int cap, Scalar eps,
                      int32_t* out) {
+  static obs::Counter& calls = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_dominated_count_calls_total");
+  static obs::Counter& counted = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_dominated_count_rows_total");
+  calls.Add();
+  counted.Add(static_cast<int64_t>(rows.size()));
   for (size_t j = 0; j < rows.size(); ++j) {
     int32_t count = 0;
     for (int32_t r : refs) {

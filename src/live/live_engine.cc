@@ -74,11 +74,14 @@ LiveEngine::~LiveEngine() = default;
 
 // --------------------------------------------------------------- planning
 
-Algorithm LiveEngine::PlanLocked(const QuerySpec& spec) const {
-  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
+PlanDecision LiveEngine::DecideLocked(const QuerySpec& spec) const {
   // Plan against the number of LIVE records, so a live engine and a
   // from-scratch Engine over the compacted catalog choose identically.
-  return ChooseAlgorithm(spec.mode, live_size(), pref_dim());
+  return DecidePlan(model_.get(), spec, live_size(), pref_dim());
+}
+
+Algorithm LiveEngine::PlanLocked(const QuerySpec& spec) const {
+  return DecideLocked(spec).algorithm;
 }
 
 Algorithm LiveEngine::Plan(const QuerySpec& spec) const {
@@ -179,15 +182,49 @@ QueryResult LiveEngine::RunViaCompact(const QuerySpec& spec) const {
 
 QueryResult LiveEngine::Run(const QuerySpec& spec) const {
   UTK_SPAN("live.run");
+  QueryHistoryScope history;
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (std::optional<std::string> error = ValidateLocked(spec))
     return Fail(spec, std::move(*error));
-  const Algorithm algo = PlanLocked(spec);
+  const PlanDecision decision = DecideLocked(spec);
+  const Algorithm algo = decision.algorithm;
   QueryResult r = (algo == Algorithm::kRsa || algo == Algorithm::kJaa)
                       ? RunBandPipeline(spec, algo)
                       : RunViaCompact(spec);
   r.stats.epoch = static_cast<int64_t>(epoch());
+  r.stats.planned_algorithm = static_cast<int64_t>(algo);
+  r.stats.plan_reason = static_cast<int64_t>(decision.reason);
+  NotePlanOutcome(decision, r.stats.elapsed_ms);
+  history.Record(spec, r, live_size(), pref_dim());
   return r;
+}
+
+PlanNode LiveEngine::Explain(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PlanNode root;
+  root.op = "live.run";
+  if (std::optional<std::string> error = ValidateLocked(spec)) {
+    root.detail = "invalid: " + *error;
+    return root;
+  }
+  const PlanDecision d = DecideLocked(spec);
+  root.detail = PlanDetail(d, spec.k, live_size());
+  root.est_ms = d.est_ms;
+  if (d.algorithm == Algorithm::kRsa || d.algorithm == Algorithm::kJaa) {
+    root.detail += spec.k <= band_.k() ? " path=band-pool" : " path=direct";
+    root.children = AlgorithmPlanChildren(d.algorithm, spec.mode, live_size(),
+                                          spec.k, pref_dim());
+  } else {
+    // Baselines and the naive oracle run on the compact fallback engine:
+    // the executed tree roots at engine.run under live.run.
+    PlanNode compact;
+    compact.op = "engine.run";
+    compact.detail = "compact fallback snapshot";
+    compact.children = AlgorithmPlanChildren(d.algorithm, spec.mode,
+                                             live_size(), spec.k, pref_dim());
+    root.children.push_back(std::move(compact));
+  }
+  return root;
 }
 
 std::vector<int32_t> LiveEngine::TopK(const Vec& w, int k) const {

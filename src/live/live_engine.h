@@ -144,6 +144,10 @@ class LiveEngine final : public QueryEngine {
   Algorithm Plan(const QuerySpec& spec) const override;
   std::optional<std::string> Validate(const QuerySpec& spec) const override;
   QueryResult Run(const QuerySpec& spec) const override;
+  /// EXPLAIN: live.run over the band pipeline's filter/refine subtree for
+  /// RSA/JAA plans; for baseline/naive plans the compact-fallback engine.run
+  /// subtree the query would actually execute.
+  PlanNode Explain(const QuerySpec& spec) const override;
   std::vector<int32_t> TopK(const Vec& w, int k) const override;
   uint64_t epoch() const override {
     return epoch_.load(std::memory_order_acquire);
@@ -209,6 +213,7 @@ class LiveEngine final : public QueryEngine {
   };
 
   /// Lock-free cores of Plan/Validate for callers already under mu_.
+  PlanDecision DecideLocked(const QuerySpec& spec) const;
   Algorithm PlanLocked(const QuerySpec& spec) const;
   std::optional<std::string> ValidateLocked(const QuerySpec& spec) const;
   /// Un-synchronized cores of Insert/Erase; the caller holds the exclusive
@@ -230,6 +235,9 @@ class LiveEngine final : public QueryEngine {
   QueryResult RunBandPipeline(const QuerySpec& spec, Algorithm algo) const;
 
   LiveConfig config_;
+  /// Cost model captured at construction (DefaultCostModel()); immutable
+  /// afterwards, so DecideLocked needs no extra synchronization.
+  std::shared_ptr<const CostModel> model_ = DefaultCostModel();
   mutable std::shared_mutex mu_;
   Dataset data_;
   std::vector<char> alive_;

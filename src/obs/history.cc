@@ -1,0 +1,311 @@
+#include "obs/history.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/serial.h"
+#include "obs/metrics.h"
+
+namespace utk {
+namespace obs {
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // magic | version
+constexpr uint8_t kFrameQuery = 1;
+// A row is a fingerprint, a stats CSV line, and a handful of span names —
+// anything bigger than this is tail damage, not a record.
+constexpr uint32_t kMaxFramePayload = 1u << 16;
+constexpr uint32_t kMaxTopSpans = 64;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+bool WriteAll(int fd, const char* bytes, size_t len, std::string* error,
+              const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, bytes + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("write " + path);
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  *out += s;
+}
+
+std::optional<std::string> ReadString(const char* base, size_t len,
+                                      size_t* cursor) {
+  auto n = ReadU32(base, len, cursor);
+  if (!n || *cursor + *n > len) return std::nullopt;
+  std::string s(base + *cursor, *n);
+  *cursor += *n;
+  return s;
+}
+
+std::string EncodeRecord(const HistoryRecord& rec) {
+  std::string p;
+  AppendU8(&p, kFrameQuery);
+  AppendI64(&p, rec.ts_us);
+  AppendString(&p, rec.fingerprint);
+  AppendU8(&p, rec.mode);
+  AppendI32(&p, rec.k);
+  AppendI64(&p, rec.n);
+  AppendI32(&p, rec.pref_dim);
+  AppendScalar(&p, rec.region_width);
+  AppendU8(&p, rec.ran_algorithm);
+  AppendU8(&p, rec.planned_algorithm);
+  AppendU8(&p, rec.plan_reason);
+  AppendString(&p, rec.stats_csv);
+  AppendU32(&p, static_cast<uint32_t>(rec.top_spans.size()));
+  for (const auto& [name, ms] : rec.top_spans) {
+    AppendString(&p, name);
+    AppendScalar(&p, ms);
+  }
+  return p;
+}
+
+std::optional<HistoryRecord> DecodeRecord(const char* payload, size_t plen) {
+  size_t cur = 0;
+  auto type = ReadU8(payload, plen, &cur);
+  if (!type || *type != kFrameQuery) return std::nullopt;
+  HistoryRecord rec;
+  auto ts = ReadI64(payload, plen, &cur);
+  auto fp = ReadString(payload, plen, &cur);
+  auto mode = ReadU8(payload, plen, &cur);
+  auto k = ReadI32(payload, plen, &cur);
+  auto n = ReadI64(payload, plen, &cur);
+  auto pref_dim = ReadI32(payload, plen, &cur);
+  auto width = ReadScalar(payload, plen, &cur);
+  auto ran = ReadU8(payload, plen, &cur);
+  auto planned = ReadU8(payload, plen, &cur);
+  auto reason = ReadU8(payload, plen, &cur);
+  auto csv = ReadString(payload, plen, &cur);
+  auto spans = ReadU32(payload, plen, &cur);
+  if (!ts || !fp || !mode || !k || !n || !pref_dim || !width || !ran ||
+      !planned || !reason || !csv || !spans || *spans > kMaxTopSpans)
+    return std::nullopt;
+  rec.ts_us = *ts;
+  rec.fingerprint = std::move(*fp);
+  rec.mode = *mode;
+  rec.k = *k;
+  rec.n = *n;
+  rec.pref_dim = *pref_dim;
+  rec.region_width = *width;
+  rec.ran_algorithm = *ran;
+  rec.planned_algorithm = *planned;
+  rec.plan_reason = *reason;
+  rec.stats_csv = std::move(*csv);
+  for (uint32_t i = 0; i < *spans; ++i) {
+    auto name = ReadString(payload, plen, &cur);
+    auto ms = ReadScalar(payload, plen, &cur);
+    if (!name || !ms) return std::nullopt;
+    rec.top_spans.emplace_back(std::move(*name), *ms);
+  }
+  if (cur != plen) return std::nullopt;  // trailing bytes = damage
+  return rec;
+}
+
+int CreateFresh(const std::string& path, std::string* error,
+                uint64_t* bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + path);
+    return -1;
+  }
+  std::string header;
+  AppendU32(&header, kHistoryMagic);
+  AppendU32(&header, kHistoryVersion);
+  if (!WriteAll(fd, header.data(), header.size(), error, path)) {
+    ::close(fd);
+    return -1;
+  }
+  *bytes = header.size();
+  return fd;
+}
+
+}  // namespace
+
+std::unique_ptr<HistoryWriter> HistoryWriter::Open(const std::string& path,
+                                                   uint64_t max_bytes,
+                                                   std::string* error) {
+  std::unique_ptr<HistoryWriter> w(new HistoryWriter());
+  w->path_ = path;
+  w->max_bytes_ = max_bytes;
+
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    // Fresh file: header only.
+    w->fd_ = CreateFresh(path, error, &w->bytes_);
+    if (w->fd_ < 0) return nullptr;
+    return w;
+  }
+
+  // Existing file: validate and truncate to the clean prefix (the WAL's
+  // no-resync-past-damage rule) before appending.
+  auto replay = ReadHistory(path, error);
+  if (!replay.has_value()) return nullptr;
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + path);
+    return nullptr;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(replay->valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    if (error != nullptr) *error = Errno("truncate " + path);
+    ::close(fd);
+    return nullptr;
+  }
+  w->fd_ = fd;
+  w->bytes_ = replay->valid_bytes;
+  return w;
+}
+
+HistoryWriter::~HistoryWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t HistoryWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t HistoryWriter::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+int64_t HistoryWriter::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+bool HistoryWriter::RotateLocked(std::string* error) {
+  ::close(fd_);
+  fd_ = -1;
+  const std::string rolled = path_ + ".1";
+  if (::rename(path_.c_str(), rolled.c_str()) != 0) {
+    if (error != nullptr) *error = Errno("rename " + path_);
+    return false;
+  }
+  fd_ = CreateFresh(path_, error, &bytes_);
+  if (fd_ < 0) return false;
+  ++rotations_;
+  static obs::Counter& rotations =
+      MetricRegistry::Global().GetCounter("utk_history_rotations_total");
+  rotations.Add();
+  return true;
+}
+
+bool HistoryWriter::WriteFrameLocked(const std::string& payload,
+                                     std::string* error) {
+  std::string frame;
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  if (bytes_ + frame.size() > max_bytes_ && bytes_ > kHeaderBytes) {
+    if (!RotateLocked(error)) return false;
+  }
+  if (!WriteAll(fd_, frame.data(), frame.size(), error, path_)) return false;
+  bytes_ += frame.size();
+  return true;
+}
+
+bool HistoryWriter::Append(const HistoryRecord& rec, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) {
+    if (error != nullptr) *error = last_error_;
+    return false;
+  }
+  std::string err;
+  if (!WriteFrameLocked(EncodeRecord(rec), &err)) {
+    ok_ = false;
+    last_error_ = err;
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  ++records_;
+  static obs::Counter& appends =
+      MetricRegistry::Global().GetCounter("utk_history_appends_total");
+  appends.Add();
+  return true;
+}
+
+std::optional<HistoryReplay> ReadHistory(const std::string& path,
+                                         std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<HistoryReplay> {
+    if (error != nullptr) *error = path + ": " + why;
+    return std::nullopt;
+  };
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return fail("cannot open");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string buf = ss.str();
+  const char* base = buf.data();
+  const size_t len = buf.size();
+
+  size_t cur = 0;
+  auto magic = ReadU32(base, len, &cur);
+  auto version = ReadU32(base, len, &cur);
+  if (!magic || !version) return fail("too short for a history header");
+  if (*magic != kHistoryMagic) return fail("bad magic (not a history file)");
+  if (*version != kHistoryVersion)
+    return fail("unsupported history version " + std::to_string(*version));
+
+  HistoryReplay replay;
+  replay.valid_bytes = kHeaderBytes;
+  // Walk frames until the tail stops making sense; never resync past
+  // damage (same rule as storage/wal.cc).
+  while (cur < len) {
+    size_t fcur = cur;
+    auto payload_len = ReadU32(base, len, &fcur);
+    auto crc = ReadU32(base, len, &fcur);
+    if (!payload_len || !crc || *payload_len > kMaxFramePayload ||
+        fcur + *payload_len > len)
+      break;  // torn prefix or truncated payload
+    const char* payload = base + fcur;
+    const size_t plen = *payload_len;
+    if (Crc32(payload, plen) != *crc) break;  // bit damage
+    auto rec = DecodeRecord(payload, plen);
+    if (!rec.has_value()) break;  // unknown type or malformed fields
+    replay.records.push_back(std::move(*rec));
+    cur = fcur + plen;
+    replay.valid_bytes = cur;
+  }
+  replay.dropped_bytes = len - replay.valid_bytes;
+  return replay;
+}
+
+namespace {
+std::mutex g_history_mu;
+std::shared_ptr<HistoryWriter> g_history;
+}  // namespace
+
+void SetQueryHistory(std::shared_ptr<HistoryWriter> writer) {
+  std::lock_guard<std::mutex> lock(g_history_mu);
+  g_history = std::move(writer);
+}
+
+std::shared_ptr<HistoryWriter> QueryHistory() {
+  std::lock_guard<std::mutex> lock(g_history_mu);
+  return g_history;
+}
+
+}  // namespace obs
+}  // namespace utk

@@ -77,12 +77,18 @@ Server::Server(Engine engine, CacheConfig config)
 QueryResult Server::Query(const QuerySpec& spec) {
   UTK_SPAN("serve.query");
   obs::QueryLogScope slow_log("serve.query");
+  // One history row per served query, whichever path answers it; the
+  // engine's own scope on the miss path nests inside this one and stays
+  // silent. Cache-hit rows carry cache_hits=1 in their stats CSV, so the
+  // calibration fit (tools/calibrate_planner.py) can filter them out.
+  QueryHistoryScope history;
   ServeMetrics& metrics = ServeMetrics::Get();
   metrics.queries.Add();
   Timer timer;
   auto record = [&](QueryResult r) {
     metrics.latency.Observe(static_cast<int64_t>(r.stats.elapsed_ms * 1000.0));
     slow_log.Finish(r.stats, [&spec] { return SpecFingerprint(spec); });
+    history.Record(spec, r, engine_->size(), engine_->pref_dim());
     return r;
   };
   // Requests the engine would reject bypass the cache entirely so the
@@ -129,6 +135,38 @@ QueryResult Server::Query(const QuerySpec& spec) {
   QueryResult r = RunAndAdmit(spec, planned, epoch);
   r.stats.cache_misses = 1;
   return record(std::move(r));
+}
+
+PlanNode Server::Explain(const QuerySpec& spec) const {
+  PlanNode root;
+  root.op = "serve.query";
+  PlanNode engine_plan = engine_->Explain(spec);
+  if (engine_->Validate(spec).has_value()) {
+    // Invalid specs bypass the cache; the engine tree carries the
+    // diagnostic already.
+    root.detail = "cache bypass (invalid spec)";
+    root.children.push_back(std::move(engine_plan));
+    return root;
+  }
+  root.detail = "cache-first; miss cost below";
+  root.est_ms = engine_plan.est_ms;
+  PlanNode probe;
+  probe.op = "serve.cache_probe";
+  probe.detail = "exact fingerprint, then containment donors";
+  root.children.push_back(std::move(probe));
+  root.children.push_back(std::move(engine_plan));
+  return root;
+}
+
+PlanNode Server::ExplainAnalyze(const QuerySpec& spec, QueryResult* result) {
+  const PlanNode static_plan = Explain(spec);
+  QueryResult local;
+  PlanNode analyzed = AnalyzeWithTrace(static_plan, [&]() {
+    local = Query(spec);
+    return local.stats.elapsed_ms;
+  });
+  if (result != nullptr) *result = std::move(local);
+  return analyzed;
 }
 
 QueryResult Server::RunAndAdmit(const QuerySpec& spec, Algorithm planned,

@@ -64,6 +64,18 @@ class Server {
   /// back with Engine::Run's diagnostic; failures are never cached.
   QueryResult Query(const QuerySpec& spec);
 
+  /// EXPLAIN through the serving layer: serve.query over the cache probe
+  /// and the engine's plan subtree — the cache can only change which path
+  /// serves the answer, so the engine subtree is always the miss-path cost.
+  PlanNode Explain(const QuerySpec& spec) const;
+
+  /// EXPLAIN ANALYZE through the serving layer: runs Query with tracing on
+  /// and rebuilds the executed tree (a cache hit shows serve.cache_probe
+  /// and no engine subtree; a miss the full run + admits). `result`, when
+  /// non-null, receives the answer.
+  PlanNode ExplainAnalyze(const QuerySpec& spec,
+                          QueryResult* result = nullptr);
+
   /// Answers independent queries concurrently through the cache (threads
   /// <= 0 means DefaultThreads()). results[i] always answers specs[i]; the
   /// merged stats include the cache counters of every query.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "geometry/lp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "skyline/skyband.h"
 
 namespace utk {
@@ -51,6 +53,9 @@ bool IsFirstQuadrantHullMember(const Record& p,
   Vec obj(nv + 1, 0.0);
   obj[nv] = 1.0;
   if (stats != nullptr) ++stats->lp_calls;
+  static obs::Counter& probes = obs::MetricRegistry::Global().GetCounter(
+      "utk_onion_hull_probes_total");
+  probes.Add();
   LpResult r = SolveLp(obj, cons, /*maximize=*/true);
   return r.status == LpStatus::kOptimal && EpsGe(r.objective, 0.0);
 }
@@ -58,6 +63,7 @@ bool IsFirstQuadrantHullMember(const Record& p,
 std::vector<std::vector<int32_t>> OnionLayers(const Dataset& data,
                                               const RTree& tree, int k,
                                               QueryStats* stats) {
+  UTK_SPAN("filter.onion");
   std::vector<std::vector<int32_t>> layers;
   std::vector<int32_t> remaining = KSkyband(data, tree, k, stats);
   for (int layer = 0; layer < k && !remaining.empty(); ++layer) {

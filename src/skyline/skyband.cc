@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "exec/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "skyline/dominance.h"
 
 namespace utk {
@@ -26,6 +28,7 @@ Scalar SumCoords(const Vec& v) {
 
 std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
                               QueryStats* stats, const ColumnStore* cols) {
+  UTK_SPAN("filter.skyband");
   std::vector<int32_t> band;
   if (tree.empty()) return band;
   const bool soa = cols != nullptr && !cols->empty();
@@ -34,7 +37,10 @@ std::vector<int32_t> KSkyband(const Dataset& data, const RTree& tree, int k,
   heap.push({SumCoords(tree.node(tree.root()).mbb.TopCorner()), false,
              tree.root()});
 
+  static obs::Counter& probes = obs::MetricRegistry::Global().GetCounter(
+      "utk_skyband_membership_probes_total");
   auto dominated_count_reaches_k = [&](const Vec& v) {
+    probes.Add();
     if (soa) return CountDominatorsOfPoint(*cols, band, v, k, kEps) >= k;
     int count = 0;
     for (int32_t id : band) {

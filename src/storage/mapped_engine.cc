@@ -98,11 +98,14 @@ const Dataset& MappedEngine::data() const {
   return data_;
 }
 
-Algorithm MappedEngine::Plan(const QuerySpec& spec) const {
-  if (spec.algorithm != Algorithm::kAuto) return spec.algorithm;
+PlanDecision MappedEngine::Decide(const QuerySpec& spec) const {
   // Plan against the LIVE count, exactly like the engine this segment was
   // saved from would.
-  return ChooseAlgorithm(spec.mode, seg_->live(), pref_dim());
+  return DecidePlan(model_.get(), spec, seg_->live(), pref_dim());
+}
+
+Algorithm MappedEngine::Plan(const QuerySpec& spec) const {
+  return Decide(spec).algorithm;
 }
 
 std::optional<std::string> MappedEngine::Validate(
@@ -201,9 +204,11 @@ QueryResult MappedEngine::RunViaCompact(const QuerySpec& spec) const {
 
 QueryResult MappedEngine::Run(const QuerySpec& spec) const {
   UTK_SPAN("mapped.run");
+  QueryHistoryScope history;
   if (std::optional<std::string> error = Validate(spec))
     return Fail(spec, std::move(*error));
-  const Algorithm algo = Plan(spec);
+  const PlanDecision decision = Decide(spec);
+  const Algorithm algo = decision.algorithm;
   const int64_t before = rows_materialized();
   QueryResult r = (algo == Algorithm::kRsa || algo == Algorithm::kJaa)
                       ? RunBandPipeline(spec, algo)
@@ -211,7 +216,51 @@ QueryResult MappedEngine::Run(const QuerySpec& spec) const {
   r.stats.epoch = static_cast<int64_t>(epoch());
   r.stats.rows_materialized = rows_materialized() - before;
   r.stats.mapped_bytes = static_cast<int64_t>(seg_->file_bytes());
+  r.stats.planned_algorithm = static_cast<int64_t>(algo);
+  r.stats.plan_reason = static_cast<int64_t>(decision.reason);
+  NotePlanOutcome(decision, r.stats.elapsed_ms);
+  history.Record(spec, r, seg_->live(), pref_dim());
   return r;
+}
+
+PlanNode MappedEngine::Explain(const QuerySpec& spec) const {
+  PlanNode root;
+  root.op = "mapped.run";
+  if (std::optional<std::string> error = Validate(spec)) {
+    root.detail = "invalid: " + *error;
+    return root;
+  }
+  const PlanDecision d = Decide(spec);
+  root.detail = PlanDetail(d, spec.k, seg_->live());
+  root.est_ms = d.est_ms;
+
+  const int64_t band = EstimateBandSize(seg_->live(), spec.k, pref_dim());
+  PlanNode mat;
+  mat.op = "mapped.materialize";
+  const bool band_path =
+      d.algorithm == Algorithm::kRsa || d.algorithm == Algorithm::kJaa;
+  if (band_path && spec.region.is_box()) {
+    mat.detail = "band rows on demand";
+    mat.est_rows = band;
+  } else {
+    mat.detail = "full catalog gather";
+    mat.est_rows = seg_->rows();
+  }
+  root.children.push_back(std::move(mat));
+
+  if (band_path) {
+    std::vector<PlanNode> kids = AlgorithmPlanChildren(
+        d.algorithm, spec.mode, seg_->live(), spec.k, pref_dim());
+    for (PlanNode& kid : kids) root.children.push_back(std::move(kid));
+  } else {
+    PlanNode compact;
+    compact.op = "engine.run";
+    compact.detail = "compacted snapshot of live rows";
+    compact.children = AlgorithmPlanChildren(d.algorithm, spec.mode,
+                                             seg_->live(), spec.k, pref_dim());
+    root.children.push_back(std::move(compact));
+  }
+  return root;
 }
 
 std::vector<int32_t> MappedEngine::TopK(const Vec& w, int k) const {

@@ -64,6 +64,9 @@ class MappedEngine final : public QueryEngine {
   Algorithm Plan(const QuerySpec& spec) const override;
   std::optional<std::string> Validate(const QuerySpec& spec) const override;
   QueryResult Run(const QuerySpec& spec) const override;
+  /// EXPLAIN: mapped.run with the materialization step (mapped.materialize)
+  /// ahead of the planned algorithm's filter/refine subtree.
+  PlanNode Explain(const QuerySpec& spec) const override;
   std::vector<int32_t> TopK(const Vec& w, int k) const override;
 
   /// The epoch the segment was saved at.
@@ -83,6 +86,7 @@ class MappedEngine final : public QueryEngine {
  private:
   MappedEngine() = default;
 
+  PlanDecision Decide(const QuerySpec& spec) const;
   QueryResult RunBandPipeline(const QuerySpec& spec, Algorithm algo) const;
   QueryResult RunViaCompact(const QuerySpec& spec) const;
   std::shared_ptr<const Engine> EnsureCompact() const;
@@ -92,6 +96,8 @@ class MappedEngine final : public QueryEngine {
   std::unique_ptr<SegmentReader> seg_;
   RTree tree_;
   ColumnStore cols_;  ///< borrowed view over the mapped column blocks
+  /// Cost model captured at Open (DefaultCostModel()); immutable after.
+  std::shared_ptr<const CostModel> model_ = DefaultCostModel();
 
   mutable std::mutex mat_mu_;
   mutable Dataset data_;               ///< rows gathered on demand

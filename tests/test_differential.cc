@@ -37,6 +37,7 @@
 #include "dist/partitioned_engine.h"
 #include "exec/kernels.h"
 #include "live/live_engine.h"
+#include "obs/history.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "skyline/rskyband.h"
@@ -327,6 +328,57 @@ TEST(Differential, TracingDoesNotPerturbExecution) {
   EXPECT_GT(obs::TraceEventCount(), 0u);
   EXPECT_EQ(slow_lines.size(), 1u);
   obs::ClearTrace();
+}
+
+TEST(Differential, ExplainAndHistoryDoNotPerturbExecution) {
+  const uint64_t base_seed = EnvSeed();
+  Rng rng(base_seed ^ 0xe1bba5);
+  const std::string history_path =
+      ::testing::TempDir() + "utk_differential_history";
+  std::remove(history_path.c_str());
+
+  for (int i = 0; i < 8; ++i) {
+    const Draw d = NextDraw(rng, i, base_seed);
+    SCOPED_TRACE("explain draw: " + d.Describe());
+    Dataset data = Generate(d.dist, d.n, d.dim, d.seed);
+    Engine engine((Dataset(data)));
+    const QuerySpec spec = SpecFor(d);
+
+    QueryResult plain = engine.Run(spec);
+    ASSERT_TRUE(plain.ok) << plain.error;
+
+    // EXPLAIN is static: running it must not execute anything, and the
+    // observed lp_calls counter proves the query path stayed cold.
+    const PlanNode static_plan = engine.Explain(spec);
+    EXPECT_FALSE(static_plan.op.empty());
+
+    // Re-run with the full observe loop on: history sink installed and the
+    // same spec ANALYZEd. The answer and the deterministic counters must
+    // be byte-identical to the plain run.
+    std::shared_ptr<obs::HistoryWriter> writer =
+        obs::HistoryWriter::Open(history_path);
+    ASSERT_NE(writer, nullptr);
+    obs::SetQueryHistory(writer);
+    QueryResult observed;
+    const PlanNode analyzed = engine.ExplainAnalyze(spec, &observed);
+    obs::SetQueryHistory(nullptr);
+    obs::ClearTrace();
+
+    ASSERT_TRUE(observed.ok) << observed.error;
+    EXPECT_EQ(observed.ids, plain.ids);
+    EXPECT_EQ(observed.algorithm, plain.algorithm);
+    if (d.mode == QueryMode::kUtk2)
+      ExpectSameUtk2(engine, d.k, plain, observed);
+    EXPECT_EQ(observed.stats.candidates, plain.stats.candidates);
+    EXPECT_EQ(observed.stats.lp_calls, plain.stats.lp_calls);
+    EXPECT_EQ(observed.stats.heap_pops, plain.stats.heap_pops);
+    EXPECT_EQ(observed.stats.cells_created, plain.stats.cells_created);
+    // The loop observed the run: a measured tree and one history row per
+    // executed query.
+    EXPECT_GT(analyzed.actual_ms, 0.0);
+    EXPECT_EQ(writer->records(), 1);
+  }
+  std::remove(history_path.c_str());
 }
 
 }  // namespace

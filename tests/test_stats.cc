@@ -112,6 +112,8 @@ TEST(Stats, CsvRoundTrips) {
   s.epoch = 12;
   s.rows_materialized = 33;
   s.mapped_bytes = 1 << 16;
+  s.planned_algorithm = 2;
+  s.plan_reason = 4;
   s.elapsed_ms = 1.25e-3;
 
   // Header and row have the same arity, and every field survives the trip —
@@ -122,6 +124,8 @@ TEST(Stats, CsvRoundTrips) {
             std::count(row.begin(), row.end(), ','));
   EXPECT_NE(header.find("cache_hits"), std::string::npos);
   EXPECT_NE(header.find("cache_evictions"), std::string::npos);
+  EXPECT_NE(header.find("planned_algorithm"), std::string::npos);
+  EXPECT_NE(header.find("plan_reason"), std::string::npos);
 
   auto parsed = QueryStats::FromCsvRow(row);
   ASSERT_TRUE(parsed.has_value());
@@ -141,6 +145,8 @@ TEST(Stats, CsvRoundTrips) {
   EXPECT_EQ(parsed->epoch, s.epoch);
   EXPECT_EQ(parsed->rows_materialized, s.rows_materialized);
   EXPECT_EQ(parsed->mapped_bytes, s.mapped_bytes);
+  EXPECT_EQ(parsed->planned_algorithm, s.planned_algorithm);
+  EXPECT_EQ(parsed->plan_reason, s.plan_reason);
   EXPECT_DOUBLE_EQ(parsed->elapsed_ms, s.elapsed_ms);
 
   // Default-constructed stats round-trip too (all-zero row).

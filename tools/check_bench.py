@@ -3,7 +3,7 @@
 
 Reads a google-benchmark JSON report (BENCH_<binary>.json, emitted by any
 bench binary when UTK_BENCH_JSON_DIR is set) and checks it against a
-checked-in baseline (bench/baselines/<binary>.json). Two gate kinds:
+checked-in baseline (bench/baselines/<binary>.json). Three gate kinds:
 
   "pairs" — speedup FLOORS for the columnar data plane and the persistence
   tier: each pair names a slow ("aos") and fast ("soa") benchmark and the
@@ -15,7 +15,12 @@ checked-in baseline (bench/baselines/<binary>.json). Two gate kinds:
   names a "base" and "test" benchmark and a max_ratio; the gate fails when
   test/base exceeds it (no extra tolerance — the ceiling IS the tolerance).
 
-Both kinds are ratio-based on purpose: absolute throughput varies wildly
+  "bounds" — absolute CEILINGS on exported counters that are already
+  dimensionless or machine-independent (the planner gate's
+  chosen-over-best ratio and mispredict rate): each bound names a report
+  key and a max; the gate fails when the measured value exceeds it.
+
+The first two kinds are ratio-based on purpose: absolute throughput varies wildly
 across CI runners, but the two sides of a pair run back to back on the same
 machine in the same process, so their ratio is stable. When a benchmark ran
 with --benchmark_repetitions, the median aggregate is preferred over any
@@ -137,6 +142,27 @@ def check_ratio_gates(times, baseline):
     return failures
 
 
+def check_bounds(times, baseline):
+    failures = 0
+    for bound in baseline.get("bounds", []):
+        key = bound["key"]
+        ceiling = float(bound["max"])
+        if key not in times:
+            print(f"FAIL {bound['name']}: report is missing {key}")
+            failures += 1
+            continue
+        got = times[key]
+        headroom = ceiling - got
+        verdict = "ok" if got <= ceiling else "FAIL"
+        print(
+            f"{verdict} {bound['name']}: {got:.4f} "
+            f"(ceiling {ceiling:.4f}, headroom {headroom:+.4f})"
+        )
+        if got > ceiling:
+            failures += 1
+    return failures
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__)
@@ -146,11 +172,19 @@ def main(argv):
     with open(argv[2]) as f:
         baseline = json.load(f)
 
-    if not baseline.get("pairs") and not baseline.get("ratio_gates"):
-        print(f"FAIL {argv[2]}: baseline declares no pairs or ratio_gates")
+    if (
+        not baseline.get("pairs")
+        and not baseline.get("ratio_gates")
+        and not baseline.get("bounds")
+    ):
+        print(
+            f"FAIL {argv[2]}: baseline declares no pairs, ratio_gates, "
+            "or bounds"
+        )
         return 1
     failures = check_pairs(times, baseline)
     failures += check_ratio_gates(times, baseline)
+    failures += check_bounds(times, baseline)
     return 1 if failures else 0
 
 
