@@ -9,9 +9,13 @@
 // All knobs ride on QuerySpec; the engine maps them onto the executing
 // algorithm's options.
 //   * data-plane layout       (SoA columnar kernels vs AoS record loops)
+#include <algorithm>
+
 #include "bench_common.h"
+#include "common/rng.h"
 #include "core/topk.h"
 #include "exec/kernels.h"
+#include "exec/simd.h"
 #include "skyline/onion.h"
 #include "skyline/rskyband.h"
 #include "skyline/skyband.h"
@@ -174,6 +178,195 @@ BENCHMARK(Ablation_Layout_Filter_AoS)->Unit(benchmark::kMillisecond);
 BENCHMARK(Ablation_Layout_Filter_SoA)->Unit(benchmark::kMillisecond);
 BENCHMARK(Ablation_Layout_TopKProbe_AoS)->Unit(benchmark::kMillisecond);
 BENCHMARK(Ablation_Layout_TopKProbe_SoA)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD ablation: the same SoA kernels with dispatch pinned to the
+// scalar reference tier versus the best tier the host supports (exec/simd.h
+// — AVX2 on x86-64, NEON on aarch64). Both sides run back to back in this
+// process on the 100k IND corpus, so their ratio is the vectorization
+// speedup and nothing else; check_bench.py gates it. On a host with no
+// SIMD tier both sides run the scalar kernels and the pair reads 1.0x —
+// the baseline only applies where the report was produced (x86-64 CI).
+// ---------------------------------------------------------------------------
+
+/// Pins the dispatch tier for one benchmark's measurement loop.
+class TierScope {
+ public:
+  explicit TierScope(SimdTier t) : prior_(ActiveSimdTier()) {
+    SetSimdTier(t);
+  }
+  ~TierScope() { SetSimdTier(prior_); }
+
+ private:
+  SimdTier prior_;
+};
+
+void SimdScoreAllVariant(benchmark::State& state, SimdTier tier) {
+  const Engine& engine = LayoutData();
+  const Vec w = *Queries(kDim - 1, kLayoutSigma)[0].Pivot();
+  TierScope scope(tier);
+  std::vector<Scalar> out(engine.cols().size());
+  for (auto _ : state) {
+    ScoreAll(engine.cols(), w, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * engine.cols().size());
+}
+
+// The gathered form RSA/JAA actually hammer (scoring candidate pools and
+// R-tree leaves): indexed loads defeat the auto-vectorizer on the scalar
+// side, so this pair isolates the explicit-SIMD win on a compute-bound
+// shape. The contiguous ScoreAll pair above it is informational only — at
+// 100k x 4 doubles the sweep streams from beyond L2 and the ratio measures
+// DRAM bandwidth, not the kernels.
+void SimdScoreBatchVariant(benchmark::State& state, SimdTier tier) {
+  const Engine& engine = LayoutData();
+  const Vec w = *Queries(kDim - 1, kLayoutSigma)[0].Pivot();
+  TierScope scope(tier);
+  Rng rng(7);
+  std::vector<int32_t> pool(4096);
+  for (int32_t& r : pool) r = rng.UniformInt(0, engine.cols().size() - 1);
+  std::vector<Scalar> out(pool.size());
+  for (auto _ : state) {
+    ScoreBatch(engine.cols(), w, pool, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.size()));
+}
+
+void SimdTopKScanVariant(benchmark::State& state, SimdTier tier) {
+  const Engine& engine = LayoutData();
+  const Vec w = *Queries(kDim - 1, kLayoutSigma)[0].Pivot();
+  TierScope scope(tier);
+  constexpr int kProbeK = 32;
+  for (auto _ : state) {
+    std::vector<int32_t> topk = TopKScan(engine.cols(), w, kProbeK);
+    benchmark::DoNotOptimize(topk.data());
+  }
+  state.SetItemsProcessed(state.iterations() * engine.cols().size());
+}
+
+void Ablation_Simd_ScoreAll_Scalar(benchmark::State& s) {
+  SimdScoreAllVariant(s, SimdTier::kScalar);
+}
+void Ablation_Simd_ScoreAll_Simd(benchmark::State& s) {
+  SimdScoreAllVariant(s, BestSupportedSimdTier());
+}
+void Ablation_Simd_TopKScan_Scalar(benchmark::State& s) {
+  SimdTopKScanVariant(s, SimdTier::kScalar);
+}
+void Ablation_Simd_TopKScan_Simd(benchmark::State& s) {
+  SimdTopKScanVariant(s, BestSupportedSimdTier());
+}
+void Ablation_Simd_ScoreBatch_Scalar(benchmark::State& s) {
+  SimdScoreBatchVariant(s, SimdTier::kScalar);
+}
+void Ablation_Simd_ScoreBatch_Simd(benchmark::State& s) {
+  SimdScoreBatchVariant(s, BestSupportedSimdTier());
+}
+
+BENCHMARK(Ablation_Simd_ScoreAll_Scalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Simd_ScoreAll_Simd)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Simd_ScoreBatch_Scalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Simd_ScoreBatch_Simd)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Simd_TopKScan_Scalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Simd_TopKScan_Simd)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Zonemap ablation: TopKScan over an attribute-clustered 100k store with
+// per-block zonemaps versus a zonemap-free borrowed view of the SAME
+// columns. Clustered rows (every attribute near one per-row level, levels
+// descending) are the layout an ingest sort key produces and the one where
+// per-column block bounds are tight enough to skip; on random row order
+// the zonemaps are sound but never skip, which is why the pair pins the
+// clustered case.
+// ---------------------------------------------------------------------------
+
+const ColumnStore& ClusteredStore() {
+  static const ColumnStore* store = [] {
+    const int n = ScaledN(100000);
+    Dataset data = Generate(Distribution::kIndependent, n, kDim, 777);
+    Rng rng(778);
+    for (int32_t i = 0; i < n; ++i) {
+      const Scalar t = 1.0 - static_cast<Scalar>(i) / n;
+      for (int d = 0; d < kDim; ++d)
+        data[i].attrs[d] =
+            std::clamp(t + rng.Uniform(-0.002, 0.002), 0.0, 1.0);
+    }
+    return new ColumnStore(data);
+  }();
+  return *store;
+}
+
+void ZonemapVariant(benchmark::State& state, bool with_zonemaps) {
+  const ColumnStore& owned = ClusteredStore();
+  std::vector<const Scalar*> ptrs;
+  for (int d = 0; d < owned.dim(); ++d) ptrs.push_back(owned.col(d));
+  const ColumnStore view =
+      ColumnStore::Borrow(ptrs, owned.dim(), owned.size());
+  const ColumnStore& cols = with_zonemaps ? owned : view;
+  const Vec w = *Queries(kDim - 1, kLayoutSigma)[0].Pivot();
+  constexpr int kProbeK = 32;
+  for (auto _ : state) {
+    std::vector<int32_t> topk = TopKScan(cols, w, kProbeK);
+    benchmark::DoNotOptimize(topk.data());
+  }
+  state.SetItemsProcessed(state.iterations() * owned.size());
+}
+
+void Ablation_Zonemap_TopKScan_Scan(benchmark::State& s) {
+  ZonemapVariant(s, false);
+}
+void Ablation_Zonemap_TopKScan_Skip(benchmark::State& s) {
+  ZonemapVariant(s, true);
+}
+
+BENCHMARK(Ablation_Zonemap_TopKScan_Scan)->Unit(benchmark::kMillisecond);
+BENCHMARK(Ablation_Zonemap_TopKScan_Skip)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Pool-refinement ablation: one UTK query with parallel cell refinement
+// (QuerySpec::refine_threads = 4). Wall clock on a saturated CI runner says
+// nothing, so the gate rides on the engine's own accounting instead:
+// refine_task_us is the serial cost of the committed refinement tasks and
+// refine_critical_us is the critical-path bound at the lane width
+// (max(longest task, ceil(total/width))) — their ratio is the speedup an
+// idle 4-way machine realizes, measured without needing one.
+// ---------------------------------------------------------------------------
+
+void RefineVariant(benchmark::State& state, QuerySpec spec, double sigma) {
+  const Engine& engine = Data();
+  auto queries = Queries(kDim - 1, sigma);
+  spec.refine_threads = 4;
+  for (auto _ : state) {
+    double serial_us = 0, critical_us = 0, tasks = 0;
+    for (const ConvexRegion& region : queries) {
+      spec.region = region;
+      QueryResult r = engine.Run(spec);
+      serial_us += static_cast<double>(r.stats.refine_task_us);
+      critical_us += static_cast<double>(r.stats.refine_critical_us);
+      tasks += static_cast<double>(r.stats.refine_tasks);
+    }
+    state.counters["serial_us"] = serial_us;
+    state.counters["critical_us"] = std::max(critical_us, 1.0);
+    state.counters["refine_tasks"] = tasks;
+  }
+}
+
+void Ablation_Refine_Pool(benchmark::State& s) {
+  RefineVariant(s, Spec(QueryMode::kUtk2, Algorithm::kJaa, kK), 0.02);
+}
+void Ablation_Refine_Pool_Rsa(benchmark::State& s) {
+  RefineVariant(s, Spec(QueryMode::kUtk1, Algorithm::kRsa, kK), kSigma);
+}
+
+BENCHMARK(Ablation_Refine_Pool)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(Ablation_Refine_Pool_Rsa)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 // Filtering-step tightness: candidates surviving each filter for the same
 // configuration (smaller = less refinement work downstream).

@@ -97,6 +97,7 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
       opt.use_drill = spec.use_drill;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
+      opt.refine_threads = spec.refine_threads;
       Utk1Result res = Rsa(opt).Run(data_, tree_, spec.region, spec.k, &cols_);
       r.ids = std::move(res.ids);
       r.stats = res.stats;
@@ -106,6 +107,7 @@ QueryResult Engine::Run(const QuerySpec& spec) const {
       Jaa::Options opt;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
+      opt.refine_threads = spec.refine_threads;
       r.utk2 = Jaa(opt).Run(data_, tree_, spec.region, spec.k, &cols_);
       r.ids = r.utk2.AllRecords();
       r.stats = r.utk2.stats;

@@ -1,19 +1,27 @@
-// Minimal parallel-for over independent work items (queries in a benchmark
-// batch, candidates in offline precomputation). Plain std::thread fan-out —
-// no pooling, no locking beyond an atomic cursor — because every use in this
-// repo is a handful of coarse, independent tasks.
+// Parallel-for over independent work items (queries in a batch, shard
+// filters, refinement cells), backed by the shared work-stealing pool in
+// common/pool.h. The old spawn-per-call std::thread fan-out is gone: every
+// call draws lanes from ThreadPool::Global(), so nested fan-outs share one
+// fixed set of OS threads, and a worker exception propagates to the caller
+// instead of hitting std::terminate.
 #ifndef UTK_COMMON_PARALLEL_H_
 #define UTK_COMMON_PARALLEL_H_
 
-#include <atomic>
+#include <cstdlib>
+#include <functional>
 #include <thread>
-#include <vector>
+#include <utility>
+
+#include "common/pool.h"
 
 namespace utk {
 
-/// Invokes fn(i) for i in [0, count) across up to `threads` workers.
-/// fn must be safe to call concurrently for distinct i. Results should be
-/// written to pre-sized per-index slots. threads <= 1 runs inline.
+/// Invokes fn(i) for i in [0, count) across up to `threads` concurrent
+/// lanes of the global pool (the calling thread is one of them). fn must be
+/// safe to call concurrently for distinct i; results should be written to
+/// pre-sized per-index slots. threads <= 1 runs inline, in order. The first
+/// exception thrown by any lane is rethrown on the caller after all lanes
+/// have been joined; remaining indices are abandoned.
 template <typename Fn>
 void ParallelFor(int count, int threads, Fn&& fn) {
   if (count <= 0) return;
@@ -21,26 +29,21 @@ void ParallelFor(int count, int threads, Fn&& fn) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  const int workers = std::min(threads, count);
-  std::atomic<int> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (int t = 0; t < workers; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  ThreadPool::Global().ParallelFor(
+      count, threads, std::function<void(int)>(std::forward<Fn>(fn)));
 }
 
-/// Hardware concurrency with a sane floor.
+/// Default lane count wherever a thread count is unset: the UTK_THREADS
+/// env override when set to a positive integer, else hardware concurrency
+/// floored at 1 (NOT 4 — flooring unknown hardware at 4 oversubscribed
+/// single-core CI containers; an unknown topology now runs serial).
 inline int DefaultThreads() {
+  if (const char* env = std::getenv("UTK_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : static_cast<int>(hw);
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 }  // namespace utk

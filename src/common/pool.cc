@@ -1,0 +1,185 @@
+#include "common/pool.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace utk {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and its worker index there.
+// A worker of pool A calling into pool B is an external submitter for B.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  queues_.reserve(workers);
+  for (int w = 0; w < workers; ++w)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w)
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+int ThreadPool::SelfIndex() const {
+  return tls_pool == this ? tls_worker : -1;
+}
+
+void ThreadPool::Submit(Group* group, std::function<void()> fn) {
+  const int self = SelfIndex();
+  const int q = self >= 0 ? self
+                          : static_cast<int>(next_queue_.fetch_add(
+                                1, std::memory_order_relaxed) %
+                                             queues_.size());
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(Task{std::move(fn), group});
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a sleeper that checked queued_ before our add
+  // is guaranteed to be inside cv_.wait() by the time we notify.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryAcquire(int self, Task* out) {
+  const int n = static_cast<int>(queues_.size());
+  if (n == 0) return false;
+  if (self >= 0) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const int start = self >= 0 ? self + 1 : 0;
+  for (int k = 0; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(start + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RecordError(Group* group, std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!group->error) group->error = std::move(error);
+  }
+  group->failed.store(true, std::memory_order_release);
+}
+
+void ThreadPool::RunTask(Task& task) {
+  Group* group = task.group;
+  // A failed group abandons its remaining tasks: they still count down
+  // pending (so the caller joins), they just stop doing work.
+  if (!group->failed.load(std::memory_order_acquire)) {
+    try {
+      task.fn();
+    } catch (...) {
+      RecordError(group, std::current_exception());
+    }
+  }
+  if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_.notify_all();
+  }
+}
+
+void ThreadPool::WaitGroup(Group* group, int self) {
+  while (group->pending.load(std::memory_order_acquire) > 0) {
+    Task task;
+    if (TryAcquire(self, &task)) {  // help: drain any group's tasks
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return group->pending.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    Task task;
+    if (TryAcquire(self, &task)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(int count, int parallelism,
+                             const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (parallelism <= 1 || count == 1 || workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Lanes self-schedule over a shared cursor: stealing balances *across*
+  // concurrent groups, the cursor balances *within* this one. Lanes may
+  // exceed the worker count; surplus lane tasks queue and drain as lanes
+  // finish (often finding the cursor exhausted — that is fine).
+  const int lanes = std::min(parallelism, count);
+  std::atomic<int> next{0};
+  Group group;
+  auto lane = [&group, &next, count, &fn] {
+    for (;;) {
+      if (group.failed.load(std::memory_order_acquire)) return;
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  group.pending.store(lanes - 1, std::memory_order_relaxed);
+  for (int l = 1; l < lanes; ++l) Submit(&group, lane);
+  try {
+    lane();  // the caller is lane 0
+  } catch (...) {
+    RecordError(&group, std::current_exception());
+  }
+  WaitGroup(&group, SelfIndex());
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = group.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace utk

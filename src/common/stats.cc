@@ -14,8 +14,9 @@ constexpr const char* kCsvHeader =
     "candidates,lp_calls,rdom_tests,cells_created,halfspaces_inserted,"
     "drills,verify_calls,heap_pops,peak_bytes,cache_hits,cache_semantic_hits,"
     "cache_misses,cache_evictions,epoch,rows_materialized,mapped_bytes,"
-    "planned_algorithm,plan_reason,elapsed_ms";
-constexpr int kCsvFields = 19;
+    "planned_algorithm,plan_reason,refine_tasks,refine_task_us,"
+    "refine_critical_us,elapsed_ms";
+constexpr int kCsvFields = 22;
 
 // Drift guard: every QueryStats member must appear in kCsvHeader,
 // CounterFields(), operator+=, and ToString(). A new field changes
@@ -48,7 +49,10 @@ std::vector<int64_t QueryStats::*> CounterFields() {
           &QueryStats::rows_materialized,
           &QueryStats::mapped_bytes,
           &QueryStats::planned_algorithm,
-          &QueryStats::plan_reason};
+          &QueryStats::plan_reason,
+          &QueryStats::refine_tasks,
+          &QueryStats::refine_task_us,
+          &QueryStats::refine_critical_us};
 }
 
 }  // namespace
@@ -72,6 +76,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   mapped_bytes = std::max(mapped_bytes, o.mapped_bytes);
   planned_algorithm = std::max(planned_algorithm, o.planned_algorithm);
   plan_reason = std::max(plan_reason, o.plan_reason);
+  refine_tasks += o.refine_tasks;
+  refine_task_us += o.refine_task_us;
+  refine_critical_us += o.refine_critical_us;
   elapsed_ms += o.elapsed_ms;
   return *this;
 }
@@ -95,7 +102,10 @@ std::string QueryStats::ToString() const {
      << " rows_materialized=" << rows_materialized
      << " mapped_bytes=" << mapped_bytes
      << " planned_algorithm=" << planned_algorithm
-     << " plan_reason=" << plan_reason << " elapsed_ms=" << elapsed_ms;
+     << " plan_reason=" << plan_reason << " refine_tasks=" << refine_tasks
+     << " refine_task_us=" << refine_task_us
+     << " refine_critical_us=" << refine_critical_us
+     << " elapsed_ms=" << elapsed_ms;
   return os.str();
 }
 

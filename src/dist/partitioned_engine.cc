@@ -260,6 +260,7 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
       opt.use_drill = spec.use_drill;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
+      opt.refine_threads = spec.refine_threads;
       Utk1Result res = Rsa(opt).RunFiltered(base_->data(), band, tiles[t],
                                             spec.k);
       r.ids = std::move(res.ids);
@@ -268,6 +269,7 @@ QueryResult PartitionedEngine::Run(const QuerySpec& spec,
       Jaa::Options opt;
       opt.use_lemma1 = spec.use_lemma1;
       opt.wave_cap = spec.wave_cap;
+      opt.refine_threads = spec.refine_threads;
       r.utk2 = Jaa(opt).RunFiltered(base_->data(), band, tiles[t], spec.k);
       r.ids = r.utk2.AllRecords();
       r.stats = r.utk2.stats;

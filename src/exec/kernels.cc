@@ -3,6 +3,8 @@
 #include <cassert>
 #include <queue>
 
+#include "exec/simd.h"
+#include "exec/simd_kernels.h"
 #include "obs/metrics.h"
 
 namespace utk {
@@ -16,6 +18,18 @@ void ScoreRange(const ColumnStore& cols, const Vec& w, int32_t begin,
   if (cols.empty() || begin >= end) return;
   const int d = cols.dim();
   assert(static_cast<int>(w.size()) == d - 1);
+#if UTK_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx2) {
+    simd::Avx2ScoreRange(cols, w, begin, end, out);
+    return;
+  }
+#endif
+#if UTK_SIMD_ARM
+  if (ActiveSimdTier() == SimdTier::kNeon) {
+    simd::NeonScoreRange(cols, w, begin, end, out);
+    return;
+  }
+#endif
   const Scalar* last = cols.col(d - 1);
   const int32_t n = end - begin;
   for (int32_t j = 0; j < n; ++j) out[j] = last[begin + j];
@@ -32,6 +46,18 @@ void ScoreBatch(const ColumnStore& cols, const Vec& w,
   if (cols.empty() || rows.empty()) return;
   const int d = cols.dim();
   assert(static_cast<int>(w.size()) == d - 1);
+#if UTK_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx2) {
+    simd::Avx2ScoreBatch(cols, w, rows, out);
+    return;
+  }
+#endif
+#if UTK_SIMD_ARM
+  if (ActiveSimdTier() == SimdTier::kNeon) {
+    simd::NeonScoreBatch(cols, w, rows, out);
+    return;
+  }
+#endif
   const Scalar* last = cols.col(d - 1);
   const size_t n = rows.size();
   for (size_t j = 0; j < n; ++j) out[j] = last[rows[j]];
@@ -51,6 +77,8 @@ std::vector<int32_t> TopKScan(const ColumnStore& cols, const Vec& w, int k) {
       "utk_exec_topk_scans_total");
   static obs::Counter& scan_rows = obs::MetricRegistry::Global().GetCounter(
       "utk_exec_topk_scan_rows_total");
+  static obs::Counter& zone_skips = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_topk_blocks_skipped_total");
   scans.Add();
   scan_rows.Add(n);
 
@@ -66,12 +94,50 @@ std::vector<int32_t> TopKScan(const ColumnStore& cols, const Vec& w, int k) {
   };
   std::priority_queue<Entry> heap;
 
+  const SimdTier tier = ActiveSimdTier();
+  (void)tier;
   constexpr int32_t kBlock = 1024;
+  static_assert(kBlock == ColumnStore::kZoneRows,
+                "zone blocks must align with scan blocks for exact skips");
   Scalar buf[kBlock];
   for (int32_t begin = 0; begin < n; begin += kBlock) {
     const int32_t end = std::min<int32_t>(begin + kBlock, n);
+    if (static_cast<int>(heap.size()) == k) {
+      // Zonemap block skip. Rows scan in ascending order, so every heap
+      // entry has a smaller row than anything in this block and a tied
+      // score loses; a block row displaces the heap only with a score
+      // strictly above the worst kept one. ZoneUpperBound() bounds every
+      // score in the block from above, so ub <= top.score skips exactly
+      // the blocks the scalar loop would reject row by row.
+      const std::optional<Scalar> ub = cols.ZoneUpperBound(w, begin, end);
+      if (ub.has_value() && !(*ub > heap.top().score)) {
+        zone_skips.Add();
+        continue;
+      }
+    }
     ScoreRange(cols, w, begin, end, buf);
-    for (int32_t j = 0; j < end - begin; ++j) {
+    const int32_t bn = end - begin;
+    int32_t j = 0;
+    while (j < bn) {
+      if (static_cast<int>(heap.size()) == k) {
+        // Vectorized threshold probe: hop over lane groups in which no
+        // score strictly beats the current worst kept score — the same
+        // strictly-above argument as the block skip, at lane granularity.
+#if UTK_SIMD_X86
+        if (tier == SimdTier::kAvx2) {
+          while (j + 4 <= bn && !simd::Avx2AnyAbove4(buf + j, heap.top().score))
+            j += 4;
+          if (j >= bn) break;
+        }
+#endif
+#if UTK_SIMD_ARM
+        if (tier == SimdTier::kNeon) {
+          while (j + 2 <= bn && !simd::NeonAnyAbove2(buf + j, heap.top().score))
+            j += 2;
+          if (j >= bn) break;
+        }
+#endif
+      }
       const Entry cand{buf[j], begin + j};
       if (static_cast<int>(heap.size()) < k) {
         heap.push(cand);
@@ -79,6 +145,7 @@ std::vector<int32_t> TopKScan(const ColumnStore& cols, const Vec& w, int k) {
         heap.pop();
         heap.push(cand);
       }
+      ++j;
     }
   }
 
@@ -126,6 +193,18 @@ void DominatedCounts(const ColumnStore& cols, std::span<const int32_t> rows,
       "utk_exec_dominated_count_rows_total");
   calls.Add();
   counted.Add(static_cast<int64_t>(rows.size()));
+#if UTK_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx2) {
+    simd::Avx2DominatedCounts(cols, rows, refs, cap, eps, out);
+    return;
+  }
+#endif
+#if UTK_SIMD_ARM
+  if (ActiveSimdTier() == SimdTier::kNeon) {
+    simd::NeonDominatedCounts(cols, rows, refs, cap, eps, out);
+    return;
+  }
+#endif
   for (size_t j = 0; j < rows.size(); ++j) {
     int32_t count = 0;
     for (int32_t r : refs) {
@@ -141,6 +220,14 @@ int CountDominatorsOfPoint(const ColumnStore& cols,
                            int cap, Scalar eps) {
   const int d = cols.dim();
   assert(static_cast<int>(v.size()) == d);
+#if UTK_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx2)
+    return simd::Avx2CountDominatorsOfPoint(cols, rows, v, cap, eps);
+#endif
+#if UTK_SIMD_ARM
+  if (ActiveSimdTier() == SimdTier::kNeon)
+    return simd::NeonCountDominatorsOfPoint(cols, rows, v, cap, eps);
+#endif
   int count = 0;
   for (int32_t r : rows) {
     const bool dominates = DominatesWith(
@@ -197,6 +284,28 @@ std::pair<Scalar, Scalar> BoxGapEvaluator::Range(int32_t p,
   return GapRange(
       cols_->dim(), [&](int i) { return cols_->at(p, i); },
       [&](int i) { return corner[i]; }, *lo_, *hi_);
+}
+
+void BoxGapEvaluator::RangeBatch(std::span<const int32_t> ps, int32_t q,
+                                 Scalar* out_lo, Scalar* out_hi) const {
+  assert(valid());
+#if UTK_SIMD_X86
+  if (ActiveSimdTier() == SimdTier::kAvx2) {
+    simd::Avx2GapRangeBatch(*cols_, *lo_, *hi_, ps, q, out_lo, out_hi);
+    return;
+  }
+#endif
+#if UTK_SIMD_ARM
+  if (ActiveSimdTier() == SimdTier::kNeon) {
+    simd::NeonGapRangeBatch(*cols_, *lo_, *hi_, ps, q, out_lo, out_hi);
+    return;
+  }
+#endif
+  for (size_t j = 0; j < ps.size(); ++j) {
+    const auto [lo, hi] = Range(ps[j], q);
+    out_lo[j] = lo;
+    out_hi[j] = hi;
+  }
 }
 
 }  // namespace utk

@@ -20,6 +20,13 @@
 // maintained store (src/live/). CountDominatorsOfPoint backs the SK
 // k-skyband membership probes; DominatedCounts is the many-vs-many form
 // behind the k-skyband brute-force oracle (skyline/skyband.cc).
+//
+// Every kernel dispatches on exec/simd.h ActiveSimdTier(): the scalar
+// loops below are the reference; the AVX2/NEON twins (simd_avx2.cc,
+// simd_neon.cc) vectorize across rows with the identical per-row
+// expression tree and are bit-identical by construction. TopKScan
+// additionally consults the store's zonemaps (column_store.h) to skip
+// whole blocks that cannot beat the running top-k threshold.
 #ifndef UTK_EXEC_KERNELS_H_
 #define UTK_EXEC_KERNELS_H_
 
@@ -72,7 +79,9 @@ int CountDominatorsOfPoint(const ColumnStore& cols,
 /// computes the same (min, max) of S(p) - S(q) straight from the columns —
 /// same expressions, same accumulation order, hence bit-identical — with
 /// zero heap traffic. valid() is false for non-box regions (LP territory);
-/// callers must fall back to RDominance() there.
+/// callers must fall back to RDominance() there. The evaluator borrows the
+/// store and the region's box vectors — both must outlive it (passing a
+/// temporary ConvexRegion leaves lo_/hi_ dangling).
 class BoxGapEvaluator {
  public:
   BoxGapEvaluator(const ColumnStore& cols, const ConvexRegion& r)
@@ -95,6 +104,14 @@ class BoxGapEvaluator {
   /// Range of S(row p) - S(corner): the MBB top-corner form used by subtree
   /// pruning.
   std::pair<Scalar, Scalar> Range(int32_t p, const Vec& corner) const;
+
+  /// Range(ps[j], q) for every lane j into (out_lo[j], out_hi[j]) — the
+  /// batched row-vs-row form the r-skyband member scans consume. Lanes are
+  /// independent p rows; each reproduces Range(p, q) bit for bit on every
+  /// tier. Callers chunk `ps` by SimdWidth() when they intend to consume
+  /// lanes speculatively (dominator scans that break at a cap).
+  void RangeBatch(std::span<const int32_t> ps, int32_t q, Scalar* out_lo,
+                  Scalar* out_hi) const;
 
  private:
   const ColumnStore* cols_;

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "exec/kernels.h"
+#include "exec/simd.h"
 #include "geometry/linear.h"
 #include "obs/trace.h"
 #include "skyline/rdominance.h"
@@ -63,6 +64,42 @@ class RDomDispatch {
       return ClassifyScoreRange(lo, hi) == RDom::kDominates;
     }
     return RDominance(pruner, data_[q], r_, stats_) == RDom::kDominates;
+  }
+
+  /// The member-vs-candidate scan both ComputeRSkyband call sites share:
+  /// walks `members` in order, appends the index of every member that
+  /// r-dominates `q` to `doms`, and stops — returning true — as soon as
+  /// `doms` reaches `cap`. On a SIMD tier with the box fast path active
+  /// the ranges are computed SimdWidth() lanes at a time; lanes are then
+  /// consumed in member order, so the break position, the collected
+  /// indices, and the rdom_tests count are exactly the scalar loop's
+  /// (speculative lanes past the break are computed but never counted).
+  bool CollectDominators(const std::vector<int32_t>& members, int32_t q,
+                         int cap, std::vector<int>* doms) const {
+    const int width = gap_.has_value() ? SimdWidth() : 1;
+    if (width > 1) {
+      Scalar lo[8], hi[8];
+      assert(width <= 8);
+      const size_t n = members.size();
+      for (size_t i = 0; i < n; i += width) {
+        const size_t m = std::min<size_t>(width, n - i);
+        gap_->RangeBatch({members.data() + i, m}, q, lo, hi);
+        for (size_t j = 0; j < m; ++j) {
+          if (stats_ != nullptr) ++stats_->rdom_tests;
+          if (ClassifyScoreRange(lo[j], hi[j]) != RDom::kDominates) continue;
+          doms->push_back(static_cast<int>(i + j));
+          if (static_cast<int>(doms->size()) >= cap) return true;
+        }
+      }
+      return false;
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (Dominates(members[i], q)) {
+        doms->push_back(static_cast<int>(i));
+        if (static_cast<int>(doms->size()) >= cap) return true;
+      }
+    }
+    return false;
   }
 
   /// RDominatesCorner(data[p], corner, r).
@@ -148,15 +185,9 @@ RSkybandResult ComputeRSkyband(const Dataset& data, const RTree& tree,
         }
       }
       std::vector<int> doms;
-      for (size_t i = 0; !pruned && i < result.ids.size(); ++i) {
-        if (rdom.Dominates(result.ids[i], e.id)) {
-          doms.push_back(static_cast<int>(i));
-          if (static_cast<int>(doms.size()) + pruner_doms >= k) {
-            pruned = true;
-            break;
-          }
-        }
-      }
+      if (!pruned)
+        pruned = rdom.CollectDominators(result.ids, e.id, k - pruner_doms,
+                                        &doms);
       if (!pruned) {
         result.ids.push_back(e.id);
         result.dominators.push_back(std::move(doms));
@@ -247,16 +278,7 @@ RSkybandResult ComputeRSkybandFromPool(const Dataset& data,
 
   for (int32_t id : pool) {
     std::vector<int> doms;
-    bool pruned = false;
-    for (size_t i = 0; i < result.ids.size(); ++i) {
-      if (rdom.Dominates(result.ids[i], id)) {
-        doms.push_back(static_cast<int>(i));
-        if (static_cast<int>(doms.size()) >= k) {
-          pruned = true;
-          break;
-        }
-      }
-    }
+    const bool pruned = rdom.CollectDominators(result.ids, id, k, &doms);
     if (!pruned) {
       result.ids.push_back(id);
       result.dominators.push_back(std::move(doms));

@@ -148,6 +148,7 @@ QueryResult MappedEngine::RunBandPipeline(const QuerySpec& spec,
     opt.use_drill = spec.use_drill;
     opt.use_lemma1 = spec.use_lemma1;
     opt.wave_cap = spec.wave_cap;
+    opt.refine_threads = spec.refine_threads;
     Utk1Result res = Rsa(opt).RunFiltered(data_, band, spec.region, spec.k);
     r.ids = std::move(res.ids);
     r.stats = res.stats;
@@ -155,6 +156,7 @@ QueryResult MappedEngine::RunBandPipeline(const QuerySpec& spec,
     Jaa::Options opt;
     opt.use_lemma1 = spec.use_lemma1;
     opt.wave_cap = spec.wave_cap;
+    opt.refine_threads = spec.refine_threads;
     r.utk2 = Jaa(opt).RunFiltered(data_, band, spec.region, spec.k);
     r.ids = r.utk2.AllRecords();
     r.stats = r.utk2.stats;

@@ -309,7 +309,14 @@ SegmentReader::~SegmentReader() {
 }
 
 ColumnStore SegmentReader::Columns() const {
-  return ColumnStore::Borrow(cols_, dim_, rows_);
+  // Hand the footer zonemaps over as one coarse zone block per column, so
+  // threshold scans over the mapped store can skip it wholesale when it
+  // cannot beat the running top-k.
+  std::vector<ColumnStore::ZoneEntry> zones;
+  zones.reserve(dim_);
+  for (int d = 0; d < dim_; ++d)
+    zones.push_back({zonemaps_[d].min, zonemaps_[d].max});
+  return ColumnStore::Borrow(cols_, dim_, rows_, std::move(zones));
 }
 
 std::vector<char> SegmentReader::AliveVector() const {

@@ -36,6 +36,7 @@
 #include "data/workload.h"
 #include "dist/partitioned_engine.h"
 #include "exec/kernels.h"
+#include "exec/simd.h"
 #include "live/live_engine.h"
 #include "obs/history.h"
 #include "obs/trace.h"
@@ -379,6 +380,126 @@ TEST(Differential, ExplainAndHistoryDoNotPerturbExecution) {
     EXPECT_EQ(writer->records(), 1);
   }
   std::remove(history_path.c_str());
+}
+
+// Every SIMD tier the host supports must reproduce the forced-scalar
+// answer bit for bit at the engine level — ids, cells, witnesses, and the
+// deterministic execution counters. Together with AllExecutionPathsAgree
+// (which pins SoA against AoS on every draw under the active tier) this
+// closes the triangle SIMD == forced-scalar == AoS across the full draw
+// budget.
+TEST(Differential, SimdTiersBitIdenticalAcrossEngineDraws) {
+  const SimdTier best = BestSupportedSimdTier();
+  if (best == SimdTier::kScalar)
+    GTEST_SKIP() << "host has no SIMD tier; scalar==scalar is vacuous";
+
+  const uint64_t base_seed = EnvSeed() ^ 0x51a4d;
+  const int draws = EnvDraws();
+  Rng rng(base_seed);
+  const SimdTier prior = ActiveSimdTier();
+
+  for (int i = 0; i < draws; ++i) {
+    const Draw d = NextDraw(rng, i, base_seed);
+    SCOPED_TRACE("draw " + std::to_string(i) + ": " + d.Describe());
+    Dataset data = Generate(d.dist, d.n, d.dim, d.seed);
+    Engine engine((Dataset(data)));
+    const QuerySpec spec = SpecFor(d);
+
+    SetSimdTier(SimdTier::kScalar);
+    QueryResult scalar = engine.Run(spec);
+    const Vec pivot = *d.region.Pivot();
+    const std::vector<int32_t> scalar_topk =
+        TopKScan(engine.cols(), pivot, d.k);
+    RSkybandResult scalar_band = ComputeRSkyband(
+        engine.data(), engine.tree(), d.region, d.k, nullptr, &engine.cols());
+
+    SetSimdTier(best);
+    QueryResult simd = engine.Run(spec);
+    ASSERT_EQ(simd.ok, scalar.ok) << simd.error;
+    if (!scalar.ok) continue;
+
+    EXPECT_EQ(simd.ids, scalar.ids);
+    ASSERT_EQ(simd.utk2.cells.size(), scalar.utk2.cells.size());
+    for (size_t c = 0; c < simd.utk2.cells.size(); ++c) {
+      EXPECT_EQ(simd.utk2.cells[c].topk, scalar.utk2.cells[c].topk);
+      EXPECT_EQ(simd.utk2.cells[c].witness, scalar.utk2.cells[c].witness);
+    }
+    EXPECT_EQ(simd.stats.candidates, scalar.stats.candidates);
+    EXPECT_EQ(simd.stats.lp_calls, scalar.stats.lp_calls);
+    EXPECT_EQ(simd.stats.rdom_tests, scalar.stats.rdom_tests);
+    EXPECT_EQ(simd.stats.cells_created, scalar.stats.cells_created);
+    EXPECT_EQ(simd.stats.heap_pops, scalar.stats.heap_pops);
+
+    // Kernel-level spot checks on the same engine: the fused top-k scan
+    // and the r-skyband filter (dominator arcs included) per tier.
+    EXPECT_EQ(TopKScan(engine.cols(), pivot, d.k), scalar_topk);
+    RSkybandResult simd_band = ComputeRSkyband(
+        engine.data(), engine.tree(), d.region, d.k, nullptr, &engine.cols());
+    EXPECT_EQ(simd_band.ids, scalar_band.ids);
+    EXPECT_EQ(simd_band.dominators, scalar_band.dominators);
+
+    if (HasFailure()) {
+      SetSimdTier(prior);
+      ADD_FAILURE() << "tier mismatch — replay with UTK_DIFF_SEED="
+                    << EnvSeed() << " (failing draw: " << d.Describe() << ")";
+      return;
+    }
+  }
+  SetSimdTier(prior);
+}
+
+// Parallel cell refinement (QuerySpec::refine_threads) must be invisible in
+// the answer: RSA's speculative verification commits exactly the serial
+// prefix of promising cells and JAA merges per-cell partitions in cell
+// order, so ids, cells, witnesses, and every logical counter are bitwise
+// equal to the serial run. Only the refine_* accounting fields may differ.
+TEST(Differential, ParallelRefineMatchesSerialBitwise) {
+  const uint64_t base_seed = EnvSeed() ^ 0xef1e;
+  Rng rng(base_seed);
+
+  for (int i = 0; i < 60; ++i) {
+    const Draw d = NextDraw(rng, i, base_seed);
+    SCOPED_TRACE("draw " + std::to_string(i) + ": " + d.Describe());
+    Dataset data = Generate(d.dist, d.n, d.dim, d.seed);
+    Engine engine((Dataset(data)));
+
+    const QuerySpec serial_spec = SpecFor(d);
+    QuerySpec parallel_spec = serial_spec;
+    parallel_spec.refine_threads = 4;
+
+    QueryResult serial = engine.Run(serial_spec);
+    QueryResult parallel = engine.Run(parallel_spec);
+    ASSERT_EQ(parallel.ok, serial.ok) << parallel.error;
+    if (!serial.ok) continue;
+
+    EXPECT_EQ(parallel.ids, serial.ids);
+    EXPECT_EQ(parallel.algorithm, serial.algorithm);
+    ASSERT_EQ(parallel.utk2.cells.size(), serial.utk2.cells.size());
+    for (size_t c = 0; c < parallel.utk2.cells.size(); ++c) {
+      EXPECT_EQ(parallel.utk2.cells[c].topk, serial.utk2.cells[c].topk);
+      EXPECT_EQ(parallel.utk2.cells[c].witness, serial.utk2.cells[c].witness);
+    }
+    EXPECT_EQ(parallel.stats.candidates, serial.stats.candidates);
+    EXPECT_EQ(parallel.stats.lp_calls, serial.stats.lp_calls);
+    EXPECT_EQ(parallel.stats.rdom_tests, serial.stats.rdom_tests);
+    EXPECT_EQ(parallel.stats.cells_created, serial.stats.cells_created);
+    EXPECT_EQ(parallel.stats.halfspaces_inserted,
+              serial.stats.halfspaces_inserted);
+    EXPECT_EQ(parallel.stats.heap_pops, serial.stats.heap_pops);
+    // The serial run never enters the parallel section; the parallel run
+    // accounts every committed task.
+    EXPECT_EQ(serial.stats.refine_tasks, 0);
+    if (parallel.stats.refine_tasks > 0) {
+      EXPECT_GE(parallel.stats.refine_task_us,
+                parallel.stats.refine_critical_us);
+    }
+
+    if (HasFailure()) {
+      ADD_FAILURE() << "refine mismatch — replay with UTK_DIFF_SEED="
+                    << EnvSeed() << " (failing draw: " << d.Describe() << ")";
+      return;
+    }
+  }
 }
 
 }  // namespace

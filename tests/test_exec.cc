@@ -15,12 +15,34 @@
 #include "data/generator.h"
 #include "exec/column_store.h"
 #include "exec/kernels.h"
+#include "exec/simd.h"
 #include "geometry/linear.h"
+#include "obs/metrics.h"
 #include "skyline/dominance.h"
 #include "skyline/rdominance.h"
 
 namespace utk {
 namespace {
+
+// Restores the ambient SIMD tier when a tier-looping test exits.
+class TierGuard {
+ public:
+  TierGuard() : saved_(ActiveSimdTier()) {}
+  ~TierGuard() { SetSimdTier(saved_); }
+
+ private:
+  SimdTier saved_;
+};
+
+// The tiers this host can actually run: always scalar, plus the best
+// vector tier when there is one. On the x86 CI runner this covers AVX2;
+// on an aarch64 host the same loop covers NEON.
+std::vector<SimdTier> HostTiers() {
+  std::vector<SimdTier> tiers{SimdTier::kScalar};
+  if (BestSupportedSimdTier() != SimdTier::kScalar)
+    tiers.push_back(BestSupportedSimdTier());
+  return tiers;
+}
 
 // Draws datasets that stress the kernels: random attributes plus injected
 // extremes (all-zero, all-one rows) and exact duplicates.
@@ -209,6 +231,347 @@ TEST(ExecKernels, SetRowAppendsAndOverwrites) {
   Scalar out[2];
   ScoreAll(cols, w, out);
   EXPECT_EQ(out[0], Score(rec, w));
+}
+
+TEST(ExecSimd, TiersBitEqualOnTailsAndUnalignedGathers) {
+  // Every vector tier must reproduce the scalar kernels bit for bit on the
+  // awkward shapes: ranges whose length is not a lane multiple, ranges
+  // starting at odd offsets, and gather lists of odd length at odd
+  // positions. n = 257 leaves a 1-row tail at width 4 (and width 2).
+  TierGuard guard;
+  Rng rng(501);
+  for (int dim = 2; dim <= 7; ++dim) {
+    Dataset data = MakeStressData(257, dim, 7100 + dim);
+    ColumnStore cols(data);
+    const Vec w = RandomWeights(dim - 1, rng);
+
+    std::vector<int32_t> rows;  // odd count, unaligned, duplicated
+    for (int32_t i = 1; i < 250; i += 3) rows.push_back(i);
+    rows.push_back(rows[0]);
+
+    const std::pair<int32_t, int32_t> ranges[] = {
+        {0, 257}, {3, 257}, {1, 2}, {250, 255}, {0, 4}};
+    for (auto [begin, end] : ranges) {
+      SetSimdTier(SimdTier::kScalar);
+      std::vector<Scalar> want(end - begin);
+      ScoreRange(cols, w, begin, end, want.data());
+      for (SimdTier tier : HostTiers()) {
+        SetSimdTier(tier);
+        std::vector<Scalar> got(end - begin, -1.0);
+        ScoreRange(cols, w, begin, end, got.data());
+        for (int32_t j = 0; j < end - begin; ++j)
+          ASSERT_EQ(got[j], want[j]) << SimdTierName(tier) << " dim " << dim
+                                     << " range [" << begin << "," << end
+                                     << ") row " << begin + j;
+      }
+    }
+
+    SetSimdTier(SimdTier::kScalar);
+    std::vector<Scalar> want(rows.size());
+    ScoreBatch(cols, w, rows, want.data());
+    for (SimdTier tier : HostTiers()) {
+      SetSimdTier(tier);
+      std::vector<Scalar> got(rows.size(), -1.0);
+      ScoreBatch(cols, w, rows, got.data());
+      for (size_t j = 0; j < rows.size(); ++j)
+        ASSERT_EQ(got[j], want[j])
+            << SimdTierName(tier) << " dim " << dim << " lane " << j;
+    }
+  }
+}
+
+TEST(ExecSimd, TiersBitEqualOnDominanceKernelsWithCaps) {
+  // The capped counting kernels break mid-scan; vector tiers must consume
+  // lanes in reference order so the break position — and therefore the
+  // clamped counts — match the scalar loop exactly.
+  TierGuard guard;
+  Rng rng(502);
+  for (int dim = 2; dim <= 7; ++dim) {
+    Dataset data = MakeStressData(131, dim, 7300 + dim);
+    ColumnStore cols(data);
+    std::vector<int32_t> all(data.size());
+    for (int32_t i = 0; i < static_cast<int32_t>(data.size()); ++i)
+      all[i] = i;
+    Vec v(dim);
+    for (int d = 0; d < dim; ++d) v[d] = rng.Uniform(0.3, 0.7);
+
+    for (int cap : {1, 2, 5, 1000}) {
+      SetSimdTier(SimdTier::kScalar);
+      std::vector<int32_t> want(all.size());
+      DominatedCounts(cols, all, all, cap, kEps, want.data());
+      const int want_pt = CountDominatorsOfPoint(cols, all, v, cap, kEps);
+      for (SimdTier tier : HostTiers()) {
+        SetSimdTier(tier);
+        std::vector<int32_t> got(all.size(), -1);
+        DominatedCounts(cols, all, all, cap, kEps, got.data());
+        EXPECT_EQ(got, want) << SimdTierName(tier) << " dim " << dim
+                             << " cap " << cap;
+        EXPECT_EQ(CountDominatorsOfPoint(cols, all, v, cap, kEps), want_pt)
+            << SimdTierName(tier) << " dim " << dim << " cap " << cap;
+      }
+    }
+  }
+}
+
+TEST(ExecSimd, TiersBitEqualOnTopKScanAndRangeBatch) {
+  TierGuard guard;
+  Rng rng(503);
+  for (int dim = 2; dim <= 7; ++dim) {
+    Dataset data = MakeStressData(211, dim, 7500 + dim);
+    ColumnStore cols(data);
+    Vec lo(dim - 1), hi(dim - 1);
+    for (int i = 0; i < dim - 1; ++i) {
+      lo[i] = 0.1 / (dim - 1);
+      hi[i] = 0.5 / (dim - 1);
+    }
+    // The evaluator borrows the region's box vectors — it must outlive gap.
+    const ConvexRegion region = ConvexRegion::FromBox(lo, hi);
+    BoxGapEvaluator gap(cols, region);
+    ASSERT_TRUE(gap.valid());
+    std::vector<int32_t> ps;  // odd length: exercises the batch tail
+    for (int32_t i = 0; i < 41; ++i) ps.push_back(rng.UniformInt(0, 210));
+
+    const Vec w = RandomWeights(dim - 1, rng);
+    SetSimdTier(SimdTier::kScalar);
+    const std::vector<int32_t> want_topk = TopKScan(cols, w, 10);
+    std::vector<Scalar> want_lo(ps.size()), want_hi(ps.size());
+    gap.RangeBatch(ps, 7, want_lo.data(), want_hi.data());
+
+    for (SimdTier tier : HostTiers()) {
+      SetSimdTier(tier);
+      EXPECT_EQ(TopKScan(cols, w, 10), want_topk)
+          << SimdTierName(tier) << " dim " << dim;
+      std::vector<Scalar> got_lo(ps.size(), -9.0), got_hi(ps.size(), -9.0);
+      gap.RangeBatch(ps, 7, got_lo.data(), got_hi.data());
+      for (size_t j = 0; j < ps.size(); ++j) {
+        ASSERT_EQ(got_lo[j], want_lo[j]) << SimdTierName(tier) << " lane "
+                                         << j;
+        ASSERT_EQ(got_hi[j], want_hi[j]) << SimdTierName(tier) << " lane "
+                                         << j;
+        // And each lane agrees with the single-pair evaluator.
+        const auto [slo, shi] = gap.Range(ps[j], 7);
+        ASSERT_EQ(got_lo[j], slo);
+        ASSERT_EQ(got_hi[j], shi);
+      }
+    }
+  }
+}
+
+TEST(ExecSimd, GatheredKernelsHandleAllDeadBlocks) {
+  // A liveness filter that tombstones entire kZoneRows blocks hands the
+  // gathered kernels row lists with kilorow-sized holes — exactly what
+  // MappedEngine produces when it walks the segment's alive bitmap. Every
+  // tier must agree bit-for-bit with the scalar tier on such lists, and a
+  // fully-dead list must be a clean no-op.
+  TierGuard guard;
+  Rng rng(117);
+  const int32_t n = 4 * ColumnStore::kZoneRows + 37;  // 4 full blocks + tail
+  for (int dim : {2, 4, 7}) {
+    Dataset data = MakeStressData(n, dim, 5200 + dim);
+    ColumnStore cols(data);
+    // Blocks 1 and 3 are all dead; elsewhere every 9th row is dead too.
+    std::vector<int32_t> alive;
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t block = i / ColumnStore::kZoneRows;
+      if (block == 1 || block == 3) continue;
+      if (i % 9 == 0) continue;
+      alive.push_back(i);
+    }
+    const Vec w = RandomWeights(dim - 1, rng);
+    const Vec probe = data[n / 2].attrs;
+
+    SetSimdTier(SimdTier::kScalar);
+    std::vector<Scalar> want_scores(alive.size());
+    ScoreBatch(cols, w, alive, want_scores.data());
+    std::vector<int32_t> want_counts(alive.size());
+    DominatedCounts(cols, alive, alive, 3, kEps, want_counts.data());
+    const int want_doms = CountDominatorsOfPoint(cols, alive, probe, 5, kEps);
+    // Spot-check the scalar tier against the AoS loops on a sample so the
+    // reference itself is anchored, without an O(n^2) full sweep.
+    for (size_t j = 0; j < alive.size(); j += 257) {
+      EXPECT_EQ(want_scores[j], Score(data[alive[j]], w)) << "dim " << dim;
+      int aos = 0;
+      for (int32_t r : alive) {
+        if (r == alive[j]) continue;
+        if (Dominates(data[r].attrs, data[alive[j]].attrs) && ++aos >= 3)
+          break;
+      }
+      EXPECT_EQ(want_counts[j], aos) << "dim " << dim << " j " << j;
+    }
+
+    for (SimdTier tier : HostTiers()) {
+      SetSimdTier(tier);
+      std::vector<Scalar> scores(alive.size());
+      ScoreBatch(cols, w, alive, scores.data());
+      EXPECT_EQ(scores, want_scores) << "dim " << dim;
+      std::vector<int32_t> counts(alive.size());
+      DominatedCounts(cols, alive, alive, 3, kEps, counts.data());
+      EXPECT_EQ(counts, want_counts) << "dim " << dim;
+      EXPECT_EQ(CountDominatorsOfPoint(cols, alive, probe, 5, kEps),
+                want_doms)
+          << "dim " << dim;
+
+      // Everything dead: the kernels must not touch the output buffers.
+      const std::vector<int32_t> none;
+      Scalar sentinel = -42.0;
+      ScoreBatch(cols, w, none, &sentinel);
+      EXPECT_EQ(sentinel, -42.0) << "dim " << dim;
+      int32_t count_sentinel = -7;
+      DominatedCounts(cols, none, alive, 3, kEps, &count_sentinel);
+      EXPECT_EQ(count_sentinel, -7) << "dim " << dim;
+      EXPECT_EQ(CountDominatorsOfPoint(cols, none, probe, 5, kEps), 0)
+          << "dim " << dim;
+    }
+  }
+}
+
+// Attribute-clustered rows: every attribute of row i sits near one
+// descending level t_i, so a zone block's per-column bounds are genuinely
+// tight — the shape block skipping exists for (a catalog laid out by an
+// ingest sort key behaves like this). Merely sorting random rows by total
+// score would NOT do: each column still spans its full range per block and
+// the conservative per-column bound stays unbeatable-looking.
+Dataset MakeClustered(int n, int dim, uint64_t seed) {
+  Dataset data = Generate(Distribution::kIndependent, n, dim, seed);
+  Rng rng(seed ^ 0x5eedULL);
+  for (int32_t i = 0; i < n; ++i) {
+    const Scalar t = 1.0 - static_cast<Scalar>(i) / n;
+    for (int d = 0; d < dim; ++d)
+      data[i].attrs[d] =
+          std::clamp(t + rng.Uniform(-0.002, 0.002), 0.0, 1.0);
+  }
+  return data;
+}
+
+TEST(ExecZonemap, SkipEquivalentToScanOnEveryTier) {
+  // The skip decision must be invisible: TopKScan over a zonemapped owned
+  // store and over a zonemap-free borrowed view of the SAME columns must
+  // return identical rows, on every tier, across dimensions. Sorted data
+  // actually triggers skips (verified via the metric counter).
+  TierGuard guard;
+  Rng rng(504);
+  static obs::Counter& skips = obs::MetricRegistry::Global().GetCounter(
+      "utk_exec_topk_blocks_skipped_total");
+  for (int dim = 2; dim <= 7; ++dim) {
+    const Vec w = RandomWeights(dim - 1, rng);
+    Dataset data = MakeClustered(8192, dim, 7700 + dim);
+    ColumnStore owned(data);
+    ASSERT_TRUE(owned.has_zonemaps());
+    std::vector<const Scalar*> ptrs;
+    for (int d = 0; d < dim; ++d) ptrs.push_back(owned.col(d));
+    ColumnStore plain = ColumnStore::Borrow(ptrs, dim, owned.size());
+    ASSERT_FALSE(plain.has_zonemaps());
+
+    for (int k : {1, 10, 64}) {
+      for (SimdTier tier : HostTiers()) {
+        SetSimdTier(tier);
+        const int64_t before = skips.Value();
+        const std::vector<int32_t> with_zones = TopKScan(owned, w, k);
+        EXPECT_GT(skips.Value(), before)
+            << "clustered data must skip blocks, dim " << dim << " k " << k;
+        EXPECT_EQ(with_zones, TopKScan(plain, w, k))
+            << SimdTierName(tier) << " dim " << dim << " k " << k;
+      }
+    }
+    // Unsorted data from the same columns also stays equivalent (skips or
+    // not — the result cannot differ).
+    Dataset shuffled = Generate(Distribution::kCorrelated, 3000, dim,
+                                7800 + dim);
+    ColumnStore owned2(shuffled);
+    std::vector<const Scalar*> ptrs2;
+    for (int d = 0; d < dim; ++d) ptrs2.push_back(owned2.col(d));
+    ColumnStore plain2 = ColumnStore::Borrow(ptrs2, dim, owned2.size());
+    for (SimdTier tier : HostTiers()) {
+      SetSimdTier(tier);
+      EXPECT_EQ(TopKScan(owned2, w, 25), TopKScan(plain2, w, 25))
+          << SimdTierName(tier) << " dim " << dim;
+    }
+  }
+}
+
+TEST(ExecZonemap, UpperBoundSoundAndNegativeWeightBails) {
+  Rng rng(505);
+  for (int dim = 2; dim <= 7; ++dim) {
+    Dataset data = MakeStressData(2500, dim, 7900 + dim);
+    ColumnStore cols(data);
+    const Vec w = RandomWeights(dim - 1, rng);
+    std::vector<Scalar> scores(cols.size());
+    ScoreAll(cols, w, scores.data());
+    const std::pair<int32_t, int32_t> ranges[] = {
+        {0, 1024}, {1024, 2048}, {2048, 2500}, {0, 2500}, {1500, 1501}};
+    for (auto [begin, end] : ranges) {
+      const std::optional<Scalar> ub = cols.ZoneUpperBound(w, begin, end);
+      ASSERT_TRUE(ub.has_value());
+      for (int32_t i = begin; i < end; ++i)
+        ASSERT_LE(scores[i], *ub) << "dim " << dim << " row " << i;
+    }
+    Vec neg = w;
+    neg[0] = -0.1;  // soundness argument needs w >= 0: must refuse
+    EXPECT_FALSE(cols.ZoneUpperBound(neg, 0, 2500).has_value());
+  }
+  ColumnStore empty;
+  EXPECT_FALSE(empty.ZoneUpperBound(Vec{}, 0, 0).has_value());
+}
+
+TEST(ExecZonemap, SetRowWidensAndRebuildRetightens) {
+  ColumnStore cols;
+  for (int32_t i = 0; i < 10; ++i)
+    cols.SetRow(i, {0.5, 0.5, 0.5});
+  ASSERT_TRUE(cols.has_zonemaps());
+  EXPECT_EQ(cols.zone(0, 0).min, 0.5);
+  EXPECT_EQ(cols.zone(0, 0).max, 0.5);
+
+  cols.SetRow(3, {0.1, 0.9, 0.5});  // widens both affected columns
+  EXPECT_EQ(cols.zone(0, 0).min, 0.1);
+  EXPECT_EQ(cols.zone(1, 0).max, 0.9);
+
+  cols.SetRow(3, {0.5, 0.5, 0.5});  // shrink: widen-only bounds stay loose
+  EXPECT_EQ(cols.zone(0, 0).min, 0.1);
+  EXPECT_EQ(cols.zone(1, 0).max, 0.9);
+  // Loose bounds are still sound for the scan...
+  const Vec w{0.3, 0.3};
+  std::vector<Scalar> scores(cols.size());
+  ScoreAll(cols, w, scores.data());
+  const std::optional<Scalar> loose = cols.ZoneUpperBound(w, 0, 10);
+  ASSERT_TRUE(loose.has_value());
+  for (Scalar s : scores) EXPECT_LE(s, *loose);
+  // ...and an explicit rebuild retightens them.
+  cols.RebuildZonemaps();
+  EXPECT_EQ(cols.zone(0, 0).min, 0.5);
+  EXPECT_EQ(cols.zone(1, 0).max, 0.5);
+}
+
+TEST(ExecZonemap, FooterBackedBorrowSkipsAsOneCoarseBlock) {
+  // The storage tier's mapped path: a borrowed store carrying the segment
+  // footer's whole-column min/max as one block. A scan whose threshold
+  // already beats the footer bound must skip the entire store and still
+  // agree with the plain scan.
+  TierGuard guard;
+  Rng rng(506);
+  Dataset data = Generate(Distribution::kIndependent, 3000, 4, 61);
+  ColumnStore owned(data);
+  std::vector<const Scalar*> ptrs;
+  std::vector<ColumnStore::ZoneEntry> zones;
+  for (int d = 0; d < 4; ++d) {
+    ptrs.push_back(owned.col(d));
+    Scalar mn = owned.at(0, d), mx = mn;
+    for (int32_t i = 1; i < owned.size(); ++i) {
+      mn = std::min(mn, owned.at(i, d));
+      mx = std::max(mx, owned.at(i, d));
+    }
+    zones.push_back({mn, mx});
+  }
+  ColumnStore footer = ColumnStore::Borrow(ptrs, 4, owned.size(), zones);
+  ASSERT_TRUE(footer.has_zonemaps());
+  EXPECT_EQ(footer.zone_rows(), owned.size());  // one coarse block
+  ColumnStore plain = ColumnStore::Borrow(ptrs, 4, owned.size());
+  const Vec w = RandomWeights(3, rng);
+  for (SimdTier tier : HostTiers()) {
+    SetSimdTier(tier);
+    for (int k : {1, 7, 50})
+      EXPECT_EQ(TopKScan(footer, w, k), TopKScan(plain, w, k))
+          << SimdTierName(tier) << " k " << k;
+  }
 }
 
 }  // namespace

@@ -247,7 +247,10 @@ TEST(Trace, NestedRunBatchSpansStayBalancedPerThread) {
     per_thread[e.tid].push_back(e);
     if (std::string(e.name) == "engine.run") {
       ++runs;
-      EXPECT_EQ(e.depth, 0);
+      // A query runs at depth 0 on a pool worker's track, or at depth 1
+      // when the calling thread's lane executes it inside its own
+      // engine.batch span (common/pool.h: callers help while waiting).
+      EXPECT_LE(e.depth, 1);
     }
     if (std::string(e.name) == "filter.rskyband") {
       EXPECT_GE(e.depth, 1);

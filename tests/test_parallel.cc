@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/rsa.h"
@@ -55,6 +57,55 @@ TEST(Parallel, ConcurrentUtkQueriesMatchSerial) {
 }
 
 TEST(Parallel, DefaultThreadsPositive) { EXPECT_GE(DefaultThreads(), 1); }
+
+TEST(Parallel, ExceptionPropagatesFromInlinePath) {
+  // threads <= 1 runs inline; the exception must surface unchanged and the
+  // loop must stop at the throwing index.
+  int ran = 0;
+  EXPECT_THROW(ParallelFor(10, 1,
+                           [&](int i) {
+                             if (i == 3) throw std::runtime_error("inline");
+                             ++ran;
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Parallel, ExceptionPropagatesFromPooledPath) {
+  // Regression for the satellite bugfix: the old spawn-per-call runtime
+  // std::terminate'd the process when a worker threw. Whatever the global
+  // pool's size (0 workers on a 1-core box falls back to the caller lane),
+  // the exception must reach this frame.
+  EXPECT_THROW(ParallelFor(50, 8,
+                           [](int i) {
+                             if (i == 11) throw std::runtime_error("pooled");
+                           }),
+               std::runtime_error);
+}
+
+TEST(Parallel, DefaultThreadsHonorsEnvOverride) {
+  // DefaultThreads re-reads UTK_THREADS on every call (only the global
+  // pool's size is frozen at first use), so the override is testable
+  // in-process. Restore the prior state to keep the suite hermetic.
+  const char* prev = std::getenv("UTK_THREADS");
+  const std::string saved = prev != nullptr ? prev : "";
+
+  ASSERT_EQ(setenv("UTK_THREADS", "3", 1), 0);
+  EXPECT_EQ(DefaultThreads(), 3);
+  ASSERT_EQ(setenv("UTK_THREADS", "1", 1), 0);
+  EXPECT_EQ(DefaultThreads(), 1);
+  // Invalid values fall through to hardware detection, floored at 1.
+  for (const char* bad : {"0", "-2", "abc", ""}) {
+    ASSERT_EQ(setenv("UTK_THREADS", bad, 1), 0);
+    EXPECT_GE(DefaultThreads(), 1) << "UTK_THREADS=" << bad;
+  }
+
+  if (prev != nullptr) {
+    ASSERT_EQ(setenv("UTK_THREADS", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("UTK_THREADS"), 0);
+  }
+}
 
 }  // namespace
 }  // namespace utk

@@ -20,25 +20,46 @@ checked-in baseline (bench/baselines/<binary>.json). Three gate kinds:
   chosen-over-best ratio and mispredict rate): each bound names a report
   key and a max; the gate fails when the measured value exceeds it.
 
-The first two kinds are ratio-based on purpose: absolute throughput varies wildly
-across CI runners, but the two sides of a pair run back to back on the same
-machine in the same process, so their ratio is stable. When a benchmark ran
-with --benchmark_repetitions, the median aggregate is preferred over any
-single iteration time.
+The first two kinds are ratio-based on purpose: absolute throughput varies
+wildly across CI runners, but the two sides of a pair run back to back on
+the same machine in the same process, so their ratio is stable. When a
+benchmark ran with --benchmark_repetitions, the median aggregate is
+preferred over any single iteration time.
 
-Every line printed carries the measured value AND its delta vs the baseline,
-so a passing-but-drifting pair is visible in the CI log before it fails.
+A malformed baseline is a CONFIG ERROR, not a silent pass or a Python
+traceback: a gate entry missing a required key, or declaring a zero /
+negative / non-numeric baseline metric, aborts the run with the offending
+gate named. A measured denominator of zero (a benchmark that reported no
+time) fails that gate by name for the same reason.
+
+Every line printed carries the measured value AND its delta vs the
+baseline, so a passing-but-drifting pair is visible in the CI log before
+it fails.
 
 Usage: check_bench.py <report.json> <baseline.json>
-Exit status: 0 all gates within bounds, 1 regression or missing data.
+       check_bench.py --self-check
+Exit status: 0 all gates within bounds, 1 regression, missing data, or a
+malformed baseline.
 
 Stdlib only — no pip dependencies.
 """
 
 import json
+import math
 import sys
 
 TOLERANCE = 0.20  # pairs fail when speedup < (1 - TOLERANCE) * baseline
+
+
+class ConfigError(Exception):
+    """A malformed baseline entry — named, so the fix is obvious."""
+
+
+def registered_name(name):
+    """The name a benchmark was registered under: runtime modifiers that
+    google-benchmark appends ("/repeats:N", "/iterations:N") are stripped;
+    genuine argument suffixes ("Bench/64") are kept."""
+    return name.split("/repeats:")[0].split("/iterations:")[0]
 
 
 def real_times(report):
@@ -55,12 +76,12 @@ def real_times(report):
     for b in report.get("benchmarks", []):
         kind = b.get("run_type", "iteration")
         if kind == "iteration":
-            name = b["name"].split("/repeats:")[0]
+            name = registered_name(b["name"])
             iterations.setdefault(name, float(b["real_time"]))
             for cname, cval in counters_of(b).items():
                 iterations.setdefault(f"{name}:{cname}", float(cval))
         elif kind == "aggregate" and b.get("aggregate_name") == "median":
-            name = b.get("run_name", b["name"]).split("/repeats:")[0]
+            name = registered_name(b.get("run_name", b["name"]))
             medians[name] = float(b["real_time"])
             for cname, cval in counters_of(b).items():
                 medians[f"{name}:{cname}"] = float(cval)
@@ -98,13 +119,53 @@ def counters_of(entry):
     }
 
 
+def gate_name(entry, kind, index):
+    return entry.get("name", f"{kind}[{index}]")
+
+
+def require(entry, key, kind, index):
+    """entry[key], or a ConfigError naming the gate and the missing key."""
+    if key not in entry:
+        raise ConfigError(
+            f"{gate_name(entry, kind, index)}: baseline {kind} entry is "
+            f"missing required key '{key}'"
+        )
+    return entry[key]
+
+
+def positive_number(value, what, entry, kind, index):
+    """value as float, or a ConfigError if it is not a positive number."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{gate_name(entry, kind, index)}: {what} is not a number "
+            f"({value!r})"
+        ) from None
+    if math.isnan(v) or v <= 0.0:
+        raise ConfigError(
+            f"{gate_name(entry, kind, index)}: {what} must be > 0, got {v!r}"
+            " — a zero baseline metric would gate nothing"
+        )
+    return v
+
+
 def check_pairs(times, baseline):
     failures = 0
-    for pair in baseline.get("pairs", []):
-        aos, soa = pair["aos"], pair["soa"]
-        want = float(pair["baseline_speedup"])
+    for i, pair in enumerate(baseline.get("pairs", [])):
+        name = gate_name(pair, "pairs", i)
+        aos = require(pair, "aos", "pairs", i)
+        soa = require(pair, "soa", "pairs", i)
+        want = positive_number(
+            require(pair, "baseline_speedup", "pairs", i),
+            "baseline_speedup", pair, "pairs", i)
         if aos not in times or soa not in times:
-            print(f"FAIL {pair['name']}: report is missing {aos} or {soa}")
+            print(f"FAIL {name}: report is missing {aos} or {soa}")
+            failures += 1
+            continue
+        if times[soa] <= 0.0:
+            print(f"FAIL {name}: {soa} reported a non-positive time "
+                  f"({times[soa]!r}); speedup is undefined")
             failures += 1
             continue
         got = times[aos] / times[soa]
@@ -112,7 +173,7 @@ def check_pairs(times, baseline):
         delta = 100.0 * (got - want) / want
         verdict = "ok" if got >= floor else "FAIL"
         print(
-            f"{verdict} {pair['name']}: speedup {got:.2f}x "
+            f"{verdict} {name}: speedup {got:.2f}x "
             f"(baseline {want:.2f}x, {delta:+.1f}%, floor {floor:.2f}x)"
         )
         if got < floor:
@@ -122,11 +183,20 @@ def check_pairs(times, baseline):
 
 def check_ratio_gates(times, baseline):
     failures = 0
-    for gate in baseline.get("ratio_gates", []):
-        base, test = gate["base"], gate["test"]
-        ceiling = float(gate["max_ratio"])
+    for i, gate in enumerate(baseline.get("ratio_gates", [])):
+        name = gate_name(gate, "ratio_gates", i)
+        base = require(gate, "base", "ratio_gates", i)
+        test = require(gate, "test", "ratio_gates", i)
+        ceiling = positive_number(
+            require(gate, "max_ratio", "ratio_gates", i),
+            "max_ratio", gate, "ratio_gates", i)
         if base not in times or test not in times:
-            print(f"FAIL {gate['name']}: report is missing {base} or {test}")
+            print(f"FAIL {name}: report is missing {base} or {test}")
+            failures += 1
+            continue
+        if times[base] <= 0.0:
+            print(f"FAIL {name}: {base} reported a non-positive time "
+                  f"({times[base]!r}); overhead ratio is undefined")
             failures += 1
             continue
         got = times[test] / times[base]
@@ -134,7 +204,7 @@ def check_ratio_gates(times, baseline):
         budget = 100.0 * (ceiling - 1.0)
         verdict = "ok" if got <= ceiling else "FAIL"
         print(
-            f"{verdict} {gate['name']}: overhead {overhead:+.2f}% "
+            f"{verdict} {name}: overhead {overhead:+.2f}% "
             f"(ratio {got:.4f}, ceiling {ceiling:.4f} = {budget:+.2f}%)"
         )
         if got > ceiling:
@@ -144,18 +214,26 @@ def check_ratio_gates(times, baseline):
 
 def check_bounds(times, baseline):
     failures = 0
-    for bound in baseline.get("bounds", []):
-        key = bound["key"]
-        ceiling = float(bound["max"])
+    for i, bound in enumerate(baseline.get("bounds", [])):
+        name = gate_name(bound, "bounds", i)
+        key = require(bound, "key", "bounds", i)
+        raw = require(bound, "max", "bounds", i)
+        try:
+            ceiling = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"{name}: max is not a number ({raw!r})") from None
+        if math.isnan(ceiling):
+            raise ConfigError(f"{name}: max must be a number, got NaN")
         if key not in times:
-            print(f"FAIL {bound['name']}: report is missing {key}")
+            print(f"FAIL {name}: report is missing {key}")
             failures += 1
             continue
         got = times[key]
         headroom = ceiling - got
         verdict = "ok" if got <= ceiling else "FAIL"
         print(
-            f"{verdict} {bound['name']}: {got:.4f} "
+            f"{verdict} {name}: {got:.4f} "
             f"(ceiling {ceiling:.4f}, headroom {headroom:+.4f})"
         )
         if got > ceiling:
@@ -163,7 +241,134 @@ def check_bounds(times, baseline):
     return failures
 
 
+def run(times, baseline, baseline_name="baseline"):
+    """All gates against a measurement table. Returns the failure count."""
+    if (
+        not baseline.get("pairs")
+        and not baseline.get("ratio_gates")
+        and not baseline.get("bounds")
+    ):
+        print(
+            f"FAIL {baseline_name}: baseline declares no pairs, "
+            "ratio_gates, or bounds"
+        )
+        return 1
+    failures = check_pairs(times, baseline)
+    failures += check_ratio_gates(times, baseline)
+    failures += check_bounds(times, baseline)
+    return failures
+
+
+# --------------------------------------------------------------- self-check
+# The gate gates the benchmarks; this gates the gate. Synthetic reports and
+# baselines pinned against expected verdicts, so a refactor that silently
+# passes malformed configs (the ZeroDivisionError-traceback failure mode
+# this replaced) turns CI red on its own.
+
+def _expect(cond, label):
+    if not cond:
+        raise AssertionError(f"self-check failed: {label}")
+
+
+def _expect_config_error(fn, fragment, label):
+    try:
+        fn()
+    except ConfigError as e:
+        _expect(fragment in str(e), f"{label}: '{fragment}' not in '{e}'")
+    else:
+        raise AssertionError(f"self-check failed: {label}: no ConfigError")
+
+
+def self_check():
+    report = {
+        "benchmarks": [
+            {"name": "Fast", "run_type": "iteration", "real_time": 10.0,
+             "counters": {"items": 4.0}},
+            {"name": "Slow", "run_type": "iteration", "real_time": 40.0},
+            {"name": "Zero", "run_type": "iteration", "real_time": 0.0},
+            # A repeated benchmark: the median aggregate must win over the
+            # first iteration entry.
+            {"name": "Med/repeats:3", "run_type": "iteration",
+             "real_time": 999.0},
+            {"name": "Med/repeats:3", "run_type": "aggregate",
+             "aggregate_name": "median", "run_name": "Med/repeats:3",
+             "real_time": 20.0},
+            # Newer google-benchmark inlines counters as top-level keys.
+            {"name": "Inline", "run_type": "iteration", "real_time": 5.0,
+             "inline_counter": 7.0, "threads": 1},
+            # ->Iterations(1) registration: suffix stripped, counters keyed
+            # by the registered name.
+            {"name": "Once/iterations:1", "run_type": "iteration",
+             "real_time": 3.0, "counters": {"serial_us": 30.0}},
+        ]
+    }
+    times = real_times(report)
+    _expect(times["Fast"] == 10.0, "iteration time extracted")
+    _expect(times["Fast:items"] == 4.0, "nested counter keyed name:counter")
+    _expect(times["Med"] == 20.0, "median beats iteration, repeats stripped")
+    _expect(times["Inline:inline_counter"] == 7.0, "inline counter")
+    _expect("Inline:threads" not in times, "schema fields are not counters")
+    _expect(times["Once"] == 3.0 and times["Once:serial_us"] == 30.0,
+            "iterations suffix stripped")
+
+    ok_pair = {"name": "p", "aos": "Slow", "soa": "Fast",
+               "baseline_speedup": 4.0}
+    _expect(check_pairs(times, {"pairs": [ok_pair]}) == 0, "4x pair passes")
+    _expect(
+        check_pairs(times, {"pairs": [dict(ok_pair,
+                                           baseline_speedup=6.0)]}) == 1,
+        "4.0 < 0.8*6.0 fails")
+    _expect(
+        check_pairs(times, {"pairs": [dict(ok_pair, aos="Gone")]}) == 1,
+        "missing report benchmark fails by name")
+    _expect(
+        check_pairs(times, {"pairs": [dict(ok_pair, soa="Zero")]}) == 1,
+        "zero measured denominator fails, not ZeroDivisionError")
+
+    # Malformed baselines abort with the gate named in the message.
+    _expect_config_error(
+        lambda: check_pairs(times, {"pairs": [
+            {"name": "p", "aos": "Slow", "soa": "Fast"}]}),
+        "missing required key 'baseline_speedup'", "missing speedup key")
+    _expect_config_error(
+        lambda: check_pairs(times, {"pairs": [
+            dict(ok_pair, baseline_speedup=0.0)]}),
+        "must be > 0", "zero baseline_speedup")
+    _expect_config_error(
+        lambda: check_pairs(times, {"pairs": [
+            dict(ok_pair, baseline_speedup="fast")]}),
+        "not a number", "non-numeric baseline_speedup")
+    _expect_config_error(
+        lambda: check_pairs(times, {"pairs": [{"aos": "Slow"}]}),
+        "pairs[0]", "nameless entry named by index")
+    _expect_config_error(
+        lambda: check_ratio_gates(times, {"ratio_gates": [
+            {"name": "g", "base": "Fast", "test": "Slow",
+             "max_ratio": -1.0}]}),
+        "must be > 0", "negative max_ratio")
+    _expect_config_error(
+        lambda: check_bounds(times, {"bounds": [{"name": "b",
+                                                 "key": "Fast:items"}]}),
+        "missing required key 'max'", "bound without max")
+
+    ok_gate = {"name": "g", "base": "Fast", "test": "Slow", "max_ratio": 5.0}
+    _expect(check_ratio_gates(times, {"ratio_gates": [ok_gate]}) == 0,
+            "ratio 4.0 under ceiling 5.0 passes")
+    _expect(check_ratio_gates(times, {"ratio_gates": [
+        dict(ok_gate, max_ratio=3.0)]}) == 1, "ratio over ceiling fails")
+    _expect(check_ratio_gates(times, {"ratio_gates": [
+        dict(ok_gate, base="Zero")]}) == 1, "zero base time fails by name")
+
+    _expect(run(times, {}, "empty") == 1, "empty baseline fails")
+    _expect(run(times, {"pairs": [ok_pair]}) == 0, "run() aggregates")
+
+    print("self-check ok: all gate semantics verified")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-check":
+        return self_check()
     if len(argv) != 3:
         print(__doc__)
         return 1
@@ -171,21 +376,11 @@ def main(argv):
         times = real_times(json.load(f))
     with open(argv[2]) as f:
         baseline = json.load(f)
-
-    if (
-        not baseline.get("pairs")
-        and not baseline.get("ratio_gates")
-        and not baseline.get("bounds")
-    ):
-        print(
-            f"FAIL {argv[2]}: baseline declares no pairs, ratio_gates, "
-            "or bounds"
-        )
+    try:
+        return 1 if run(times, baseline, argv[2]) else 0
+    except ConfigError as e:
+        print(f"CONFIG ERROR {e}")
         return 1
-    failures = check_pairs(times, baseline)
-    failures += check_ratio_gates(times, baseline)
-    failures += check_bounds(times, baseline)
-    return 1 if failures else 0
 
 
 if __name__ == "__main__":
