@@ -5,10 +5,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "common/annotations.h"
 #include "obs/history.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -475,19 +475,19 @@ std::string PlanDetail(const PlanDecision& d, int k, int64_t n) {
 }
 
 namespace {
-std::mutex g_model_mu;
-std::shared_ptr<const CostModel> g_model;
-bool g_model_env_checked = false;
+Mutex g_model_mu;
+std::shared_ptr<const CostModel> g_model UTK_GUARDED_BY(g_model_mu);
+bool g_model_env_checked UTK_GUARDED_BY(g_model_mu) = false;
 }  // namespace
 
 void SetDefaultCostModel(std::shared_ptr<const CostModel> model) {
-  std::lock_guard<std::mutex> lock(g_model_mu);
+  MutexLock lock(g_model_mu);
   g_model = std::move(model);
   g_model_env_checked = true;  // an explicit set overrides the env lookup
 }
 
 std::shared_ptr<const CostModel> DefaultCostModel() {
-  std::lock_guard<std::mutex> lock(g_model_mu);
+  MutexLock lock(g_model_mu);
   if (!g_model_env_checked) {
     g_model_env_checked = true;
     if (const char* path = std::getenv("UTK_PLANNER_MODEL")) {

@@ -27,10 +27,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -50,14 +50,14 @@ void ThreadPool::Submit(Group* group, std::function<void()> fn) {
                                 1, std::memory_order_relaxed) %
                                              queues_.size());
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    MutexLock lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(Task{std::move(fn), group});
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Empty critical section: a sleeper that checked queued_ before our add
-  // is guaranteed to be inside cv_.wait() by the time we notify.
-  { std::lock_guard<std::mutex> lock(mu_); }
-  cv_.notify_one();
+  // is guaranteed to be inside cv_.Wait() by the time we notify.
+  { MutexLock lock(mu_); }
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::TryAcquire(int self, Task* out) {
@@ -65,7 +65,7 @@ bool ThreadPool::TryAcquire(int self, Task* out) {
   if (n == 0) return false;
   if (self >= 0) {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       *out = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -76,7 +76,7 @@ bool ThreadPool::TryAcquire(int self, Task* out) {
   const int start = self >= 0 ? self + 1 : 0;
   for (int k = 0; k < n; ++k) {
     WorkerQueue& victim = *queues_[(start + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       *out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -89,7 +89,7 @@ bool ThreadPool::TryAcquire(int self, Task* out) {
 
 void ThreadPool::RecordError(Group* group, std::exception_ptr error) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!group->error) group->error = std::move(error);
   }
   group->failed.store(true, std::memory_order_release);
@@ -107,8 +107,8 @@ void ThreadPool::RunTask(Task& task) {
     }
   }
   if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    { std::lock_guard<std::mutex> lock(mu_); }
-    cv_.notify_all();
+    { MutexLock lock(mu_); }
+    cv_.NotifyAll();
   }
 }
 
@@ -119,11 +119,10 @@ void ThreadPool::WaitGroup(Group* group, int self) {
       RunTask(task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return group->pending.load(std::memory_order_acquire) == 0 ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(mu_);
+    while (group->pending.load(std::memory_order_acquire) > 0 &&
+           queued_.load(std::memory_order_acquire) == 0)
+      cv_.Wait(mu_);
   }
 }
 
@@ -136,10 +135,9 @@ void ThreadPool::WorkerLoop(int self) {
       RunTask(task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(mu_);
+    while (!stop_ && queued_.load(std::memory_order_acquire) == 0)
+      cv_.Wait(mu_);
     if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
   }
 }
@@ -176,7 +174,7 @@ void ThreadPool::ParallelFor(int count, int parallelism,
   WaitGroup(&group, SelfIndex());
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     error = group.error;
   }
   if (error) std::rethrow_exception(error);

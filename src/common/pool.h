@@ -25,14 +25,14 @@
 #define UTK_COMMON_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace utk {
 
@@ -76,8 +76,8 @@ class ThreadPool {
   };
   // Per-worker deque: owner pushes/pops back, thieves pop front.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks UTK_GUARDED_BY(mu);
   };
 
   void Submit(Group* group, std::function<void()> fn);
@@ -90,11 +90,11 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;               // sleep/wake + group error storage
-  std::condition_variable cv_;  // "task queued" and "group finished"
+  Mutex mu_;     // sleep/wake + group error storage
+  CondVar cv_;   // "task queued" and "group finished"
   std::atomic<int> queued_{0};
   std::atomic<uint32_t> next_queue_{0};  // round-robin for external submits
-  bool stop_ = false;                    // guarded by mu_
+  bool stop_ UTK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace utk

@@ -36,10 +36,14 @@ std::vector<int32_t> ConvexHull2D(const Dataset& data) {
 
   std::vector<int32_t> hull(2 * n);
   int h = 0;
-  // Lower chain.
+  // Lower chain. A cross product within kEps of zero (collinear) also pops,
+  // so the hull never keeps degenerate vertices: EpsLe(cross, 0) is exactly
+  // the old `cross <= kEps`.
   for (int i = 0; i < n; ++i) {
-    while (h >= 2 && Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
-                           data[pts[i]].attrs) <= kEps) {
+    while (h >= 2 &&
+           EpsLe(Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
+                       data[pts[i]].attrs),
+                 0.0)) {
       --h;
     }
     hull[h++] = pts[i];
@@ -48,8 +52,9 @@ std::vector<int32_t> ConvexHull2D(const Dataset& data) {
   const int lower_end = h + 1;
   for (int i = n - 2; i >= 0; --i) {
     while (h >= lower_end &&
-           Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
-                 data[pts[i]].attrs) <= kEps) {
+           EpsLe(Cross(data[hull[h - 2]].attrs, data[hull[h - 1]].attrs,
+                       data[pts[i]].attrs),
+                 0.0)) {
       --h;
     }
     hull[h++] = pts[i];

@@ -35,6 +35,8 @@ class Tableau {
     for (int r = 0; r < rows_; ++r) {
       const int bc = basis_[r];
       const Scalar factor = obj_[bc];
+      // utk-lint: allow(eps-compare) pivot-magnitude test: strict < against
+      // kPivotEps IS the policy (types.h); EpsEq would widen < to <=.
       if (std::fabs(factor) < kPivotEps) continue;
       for (int c = 0; c <= cols_; ++c) obj_[c] -= factor * a_[r * (cols_ + 1) + c];
     }
@@ -82,17 +84,21 @@ class Tableau {
 
   void Pivot(int r, int c) {
     const Scalar piv = At(r, c);
+    // utk-lint: allow(eps-compare) pivot-magnitude assert; kPivotEps is the
+    // tolerance itself, not a fuzz on an exact comparison.
     assert(std::fabs(piv) > kPivotEps);
     const Scalar inv = 1.0 / piv;
     for (int j = 0; j <= cols_; ++j) a_[r * (cols_ + 1) + j] *= inv;
     for (int i = 0; i < rows_; ++i) {
       if (i == r) continue;
       const Scalar f = a_[i * (cols_ + 1) + c];
+      // utk-lint: allow(eps-compare) pivot-magnitude test (see PriceOut)
       if (std::fabs(f) < kPivotEps) continue;
       for (int j = 0; j <= cols_; ++j)
         a_[i * (cols_ + 1) + j] -= f * a_[r * (cols_ + 1) + j];
     }
     const Scalar f = obj_[c];
+    // utk-lint: allow(eps-compare) pivot-magnitude test (see PriceOut)
     if (std::fabs(f) > kPivotEps)
       for (int j = 0; j <= cols_; ++j) obj_[j] -= f * a_[r * (cols_ + 1) + j];
     basis_[r] = c;
@@ -142,6 +148,8 @@ LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
   // Variables: u (nv), v (nv), slack (m), artificial (count of negative rhs).
   int n_art = 0;
   for (const Halfspace* h : cons)
+    // utk-lint: allow(eps-compare) exact sign split: rows are negated iff
+    // b < 0, and the artificial-count below must agree bit-for-bit.
     if (h->b < 0.0) ++n_art;
   const int cols = 2 * nv + m + n_art;
   Tableau t(m, cols);
@@ -149,6 +157,7 @@ LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
   int art = 2 * nv + m;
   for (int r = 0; r < m; ++r) {
     const Halfspace& h = *cons[r];
+    // utk-lint: allow(eps-compare) exact sign split, must match n_art above
     const Scalar sign = (h.b < 0.0) ? -1.0 : 1.0;
     for (int j = 0; j < nv; ++j) {
       t.At(r, j) = sign * h.a[j];
@@ -156,6 +165,7 @@ LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
     }
     t.At(r, 2 * nv + r) = sign;  // slack
     t.Rhs(r) = sign * h.b;
+    // utk-lint: allow(eps-compare) exact sign split, must match n_art above
     if (h.b < 0.0) {
       t.At(r, art) = 1.0;
       t.SetBasis(r, art);
@@ -173,13 +183,13 @@ LpResult SolveCore(const Vec& c, const std::vector<Halfspace>& raw_cons) {
     (void)ok;  // phase 1 objective is bounded above by 0
     // The objective row's rhs cell holds the *negated* objective value, so a
     // positive residual means sum(artificials) > 0, i.e. infeasible.
-    if (t.ObjValue() > 1e-7) return {LpStatus::kInfeasible, {}, 0.0};
+    if (EpsGt(t.ObjValue(), 0.0, 1e-7)) return {LpStatus::kInfeasible, {}, 0.0};
     // Drive any artificial still in the basis out (degenerate); if it cannot
     // be driven out its row is redundant and harmless because its value is 0.
     for (int r = 0; r < m; ++r) {
       if (t.BasisVar(r) >= 2 * nv + m) {
         for (int cidx = 0; cidx < 2 * nv + m; ++cidx) {
-          if (std::fabs(t.At(r, cidx)) > 1e-7) {
+          if (EpsGt(std::fabs(t.At(r, cidx)), 0.0, 1e-7)) {
             t.Pivot(r, cidx);
             break;
           }

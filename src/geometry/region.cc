@@ -118,6 +118,8 @@ std::optional<Vec> ConvexRegion::Pivot() const {
     return c;
   }
   auto ip = FindInteriorPoint(constraints_);
+  // utk-lint: allow(eps-compare) exact degeneracy test: a Chebyshev radius
+  // of 0 means the LP found only a boundary point, not an interior one.
   if (!ip.has_value() || ip->radius <= 0.0) return std::nullopt;
   return ip->x;
 }
@@ -142,6 +144,8 @@ std::optional<std::pair<Scalar, Scalar>> ConvexRegion::RangeOf(
   if (is_box_) {
     Scalar lo = offset, hi = offset;
     for (int i = 0; i < dim_; ++i) {
+      // utk-lint: allow(eps-compare) exact sign split choosing which box
+      // corner minimizes/maximizes the linear form; either branch is exact.
       if (coef[i] >= 0.0) {
         lo += coef[i] * box_lo_[i];
         hi += coef[i] * box_hi_[i];

@@ -85,7 +85,7 @@ Algorithm LiveEngine::PlanLocked(const QuerySpec& spec) const {
 }
 
 Algorithm LiveEngine::Plan(const QuerySpec& spec) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return PlanLocked(spec);
 }
 
@@ -109,7 +109,7 @@ std::optional<std::string> LiveEngine::ValidateLocked(
 }
 
 std::optional<std::string> LiveEngine::Validate(const QuerySpec& spec) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return ValidateLocked(spec);
 }
 
@@ -168,7 +168,7 @@ QueryResult LiveEngine::RunViaCompact(const QuerySpec& spec) const {
   std::shared_ptr<const Engine> compact = EnsureCompact();
   std::vector<int32_t> live_ids;
   {
-    std::lock_guard<std::mutex> lock(compact_mu_);
+    MutexLock lock(compact_mu_);
     live_ids = compact_ids_;
   }
   QueryResult r = compact->Run(spec);
@@ -185,7 +185,7 @@ QueryResult LiveEngine::RunViaCompact(const QuerySpec& spec) const {
 QueryResult LiveEngine::Run(const QuerySpec& spec) const {
   UTK_SPAN("live.run");
   QueryHistoryScope history;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   if (std::optional<std::string> error = ValidateLocked(spec))
     return Fail(spec, std::move(*error));
   const PlanDecision decision = DecideLocked(spec);
@@ -202,7 +202,7 @@ QueryResult LiveEngine::Run(const QuerySpec& spec) const {
 }
 
 PlanNode LiveEngine::Explain(const QuerySpec& spec) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   PlanNode root;
   root.op = "live.run";
   if (std::optional<std::string> error = ValidateLocked(spec)) {
@@ -230,12 +230,12 @@ PlanNode LiveEngine::Explain(const QuerySpec& spec) const {
 }
 
 std::vector<int32_t> LiveEngine::TopK(const Vec& w, int k) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return TopKRTree(data_, tree_, w, k, nullptr, &cols_);
 }
 
 bool LiveEngine::IsLive(int32_t id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return id >= 0 && id < static_cast<int32_t>(alive_.size()) &&
          alive_[id] != 0;
 }
@@ -257,12 +257,12 @@ Dataset LiveEngine::CompactSnapshotLocked(
 }
 
 Dataset LiveEngine::CompactSnapshot(std::vector<int32_t>* live_ids) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return CompactSnapshotLocked(live_ids);
 }
 
 std::shared_ptr<const Engine> LiveEngine::EnsureCompact() const {
-  std::lock_guard<std::mutex> lock(compact_mu_);
+  MutexLock lock(compact_mu_);
   const uint64_t now = epoch();
   if (compact_ == nullptr || compact_epoch_ != now) {
     std::vector<int32_t> live_ids;
@@ -329,7 +329,7 @@ bool LiveEngine::EraseLocked(int32_t id, UpdateEvent* event) {
 }
 
 int32_t LiveEngine::Insert(Record rec) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   UpdateEvent event;
   const int32_t id = InsertLocked(std::move(rec), &event);
   if (id >= 0) Commit(event);
@@ -337,7 +337,7 @@ int32_t LiveEngine::Insert(Record rec) {
 }
 
 bool LiveEngine::Erase(int32_t id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   UpdateEvent event;
   const bool ok = EraseLocked(id, &event);
   if (ok) Commit(event);
@@ -346,7 +346,7 @@ bool LiveEngine::Erase(int32_t id) {
 
 int LiveEngine::ApplyBatch(std::span<const UpdateOp> ops) {
   UTK_SPAN_VAL("live.apply_batch", static_cast<int64_t>(ops.size()));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   UpdateEvent event;
   int applied = 0;
   for (const UpdateOp& op : ops) {
@@ -363,13 +363,13 @@ int LiveEngine::ApplyBatch(std::span<const UpdateOp> ops) {
 // ---------------------------------------------------------------- serving
 
 void LiveEngine::AttachCache(ResultCache* cache) {
-  std::lock_guard<std::mutex> lock(caches_mu_);
+  MutexLock lock(caches_mu_);
   if (std::find(caches_.begin(), caches_.end(), cache) == caches_.end())
     caches_.push_back(cache);
 }
 
 void LiveEngine::DetachCache(ResultCache* cache) {
-  std::lock_guard<std::mutex> lock(caches_mu_);
+  MutexLock lock(caches_mu_);
   caches_.erase(std::remove(caches_.begin(), caches_.end(), cache),
                 caches_.end());
 }
@@ -411,7 +411,7 @@ void LiveEngine::Commit(const UpdateEvent& event) {
   // Durability first: the WAL records the batch before any reader can act
   // on the new epoch through a cache sweep.
   {
-    std::lock_guard<std::mutex> lock(logs_mu_);
+    MutexLock lock(logs_mu_);
     if (!logs_.empty()) {
       const CatalogView view{data_, alive_, tree_, to};
       for (UpdateLog* log : logs_) log->OnCommit(event.ops, view);
@@ -419,7 +419,7 @@ void LiveEngine::Commit(const UpdateEvent& event) {
   }
   {
     UTK_SPAN("live.cache_sweep");
-    std::lock_guard<std::mutex> lock(caches_mu_);
+    MutexLock lock(caches_mu_);
     for (ResultCache* cache : caches_) {
       cache->ApplyInvalidation(from, to, [&](const CacheEntryView& view) {
         return CouldAffect(event, view);
@@ -439,24 +439,24 @@ void LiveEngine::Commit(const UpdateEvent& event) {
 }
 
 void LiveEngine::AttachLog(UpdateLog* log) {
-  std::lock_guard<std::mutex> lock(logs_mu_);
+  MutexLock lock(logs_mu_);
   if (std::find(logs_.begin(), logs_.end(), log) == logs_.end())
     logs_.push_back(log);
 }
 
 void LiveEngine::DetachLog(UpdateLog* log) {
-  std::lock_guard<std::mutex> lock(logs_mu_);
+  MutexLock lock(logs_mu_);
   logs_.erase(std::remove(logs_.begin(), logs_.end(), log), logs_.end());
 }
 
 void LiveEngine::WithSnapshot(
     const std::function<void(const CatalogView&)>& fn) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   fn(CatalogView{data_, alive_, tree_, epoch()});
 }
 
 LiveCounters LiveEngine::counters() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   LiveCounters c;
   c.epoch = epoch();
   c.live = live_size();

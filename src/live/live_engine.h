@@ -44,14 +44,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "common/annotations.h"
 #include "api/query_engine.h"
 #include "data/workload.h"
 #include "exec/column_store.h"
@@ -136,11 +135,19 @@ class LiveEngine final : public QueryEngine {
   /// The id-addressed dataset *including tombstones* (data()[i].id == i
   /// still holds; IsLive distinguishes). Algorithms only dereference ids
   /// the live indexes hand out, so tombstones are never touched.
-  const Dataset& data() const override { return data_; }
+  /// Unchecked by the thread-safety analysis: the reference is handed out
+  /// lock-free by contract — stable only while no update runs (class
+  /// comment); synchronized callers go through WithSnapshot.
+  const Dataset& data() const override UTK_NO_THREAD_SAFETY_ANALYSIS {
+    return data_;
+  }
   /// The SoA mirror of data() — maintained incrementally in lockstep with
   /// the catalog (SetRow on every insert/revival; tombstones keep their
-  /// last attributes, same as data()). Stable only while no update runs.
-  const ColumnStore& cols() const { return cols_; }
+  /// last attributes, same as data()). Stable only while no update runs;
+  /// same lock-free-by-contract escape hatch as data().
+  const ColumnStore& cols() const UTK_NO_THREAD_SAFETY_ANALYSIS {
+    return cols_;
+  }
   Algorithm Plan(const QuerySpec& spec) const override;
   std::optional<std::string> Validate(const QuerySpec& spec) const override;
   QueryResult Run(const QuerySpec& spec) const override;
@@ -213,37 +220,51 @@ class LiveEngine final : public QueryEngine {
   };
 
   /// Lock-free cores of Plan/Validate for callers already under mu_.
-  PlanDecision DecideLocked(const QuerySpec& spec) const;
-  Algorithm PlanLocked(const QuerySpec& spec) const;
-  std::optional<std::string> ValidateLocked(const QuerySpec& spec) const;
+  PlanDecision DecideLocked(const QuerySpec& spec) const
+      UTK_REQUIRES_SHARED(mu_);
+  Algorithm PlanLocked(const QuerySpec& spec) const UTK_REQUIRES_SHARED(mu_);
+  std::optional<std::string> ValidateLocked(const QuerySpec& spec) const
+      UTK_REQUIRES_SHARED(mu_);
   /// Un-synchronized cores of Insert/Erase; the caller holds the exclusive
   /// lock and owns the commit.
-  int32_t InsertLocked(Record rec, UpdateEvent* event);
-  bool EraseLocked(int32_t id, UpdateEvent* event);
+  int32_t InsertLocked(Record rec, UpdateEvent* event) UTK_REQUIRES(mu_);
+  bool EraseLocked(int32_t id, UpdateEvent* event) UTK_REQUIRES(mu_);
   /// Advances the epoch and sweeps every attached cache with the
   /// conservative could-affect predicate for `event`. Exclusive lock held.
-  void Commit(const UpdateEvent& event);
+  void Commit(const UpdateEvent& event) UTK_REQUIRES(mu_);
   /// True iff `event` could change the cached answer `view` (see class
-  /// comment for the exact tests).
-  bool CouldAffect(const UpdateEvent& event, const CacheEntryView& view) const;
+  /// comment for the exact tests). Runs under Commit's exclusive lock, but
+  /// reaches here through the std::function invalidation predicate — a
+  /// boundary the analysis cannot see capabilities across, hence the
+  /// explicit opt-out.
+  bool CouldAffect(const UpdateEvent& event, const CacheEntryView& view) const
+      UTK_NO_THREAD_SAFETY_ANALYSIS;
 
-  Dataset CompactSnapshotLocked(std::vector<int32_t>* live_ids) const;
+  Dataset CompactSnapshotLocked(std::vector<int32_t>* live_ids) const
+      UTK_REQUIRES_SHARED(mu_);
   /// The compact fallback engine for the current epoch (rebuilt at most
   /// once per epoch, under compact_mu_). Shared lock on mu_ held.
-  std::shared_ptr<const Engine> EnsureCompact() const;
-  QueryResult RunViaCompact(const QuerySpec& spec) const;
-  QueryResult RunBandPipeline(const QuerySpec& spec, Algorithm algo) const;
+  std::shared_ptr<const Engine> EnsureCompact() const
+      UTK_REQUIRES_SHARED(mu_);
+  QueryResult RunViaCompact(const QuerySpec& spec) const
+      UTK_REQUIRES_SHARED(mu_);
+  QueryResult RunBandPipeline(const QuerySpec& spec, Algorithm algo) const
+      UTK_REQUIRES_SHARED(mu_);
 
   LiveConfig config_;
   /// Cost model captured at construction (DefaultCostModel()); immutable
   /// afterwards, so DecideLocked needs no extra synchronization.
   std::shared_ptr<const CostModel> model_ = DefaultCostModel();
-  mutable std::shared_mutex mu_;
-  Dataset data_;
-  std::vector<char> alive_;
-  RTree tree_;
-  ColumnStore cols_;
-  LiveSkyband band_;
+  /// Catalog lock. Lock order: mu_ strictly before logs_mu_, caches_mu_,
+  /// and compact_mu_ (Commit and the compact-fallback path) — and, through
+  /// UpdateLog::OnCommit, before the storage Catalog's cat_mu_.
+  mutable SharedMutex mu_ UTK_ACQUIRED_BEFORE(logs_mu_, caches_mu_,
+                                              compact_mu_);
+  Dataset data_ UTK_GUARDED_BY(mu_);
+  std::vector<char> alive_ UTK_GUARDED_BY(mu_);
+  RTree tree_ UTK_GUARDED_BY(mu_);
+  ColumnStore cols_ UTK_GUARDED_BY(mu_);
+  LiveSkyband band_ UTK_GUARDED_BY(mu_);
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> live_{0};
   std::atomic<int64_t> inserts_{0};
@@ -252,16 +273,16 @@ class LiveEngine final : public QueryEngine {
   mutable std::atomic<int64_t> direct_queries_{0};
   mutable std::atomic<int64_t> fallback_queries_{0};
 
-  std::mutex caches_mu_;
-  std::vector<ResultCache*> caches_;
+  Mutex caches_mu_;
+  std::vector<ResultCache*> caches_ UTK_GUARDED_BY(caches_mu_);
 
-  std::mutex logs_mu_;
-  std::vector<UpdateLog*> logs_;
+  Mutex logs_mu_;
+  std::vector<UpdateLog*> logs_ UTK_GUARDED_BY(logs_mu_);
 
-  mutable std::mutex compact_mu_;
-  mutable std::shared_ptr<const Engine> compact_;
-  mutable std::vector<int32_t> compact_ids_;
-  mutable uint64_t compact_epoch_ = ~0ull;
+  mutable Mutex compact_mu_;
+  mutable std::shared_ptr<const Engine> compact_ UTK_GUARDED_BY(compact_mu_);
+  mutable std::vector<int32_t> compact_ids_ UTK_GUARDED_BY(compact_mu_);
+  mutable uint64_t compact_epoch_ UTK_GUARDED_BY(compact_mu_) = ~0ull;
 };
 
 /// RAII pairing of a Server's cache with a LiveEngine's epoch sweeps:

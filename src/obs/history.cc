@@ -151,6 +151,7 @@ std::unique_ptr<HistoryWriter> HistoryWriter::Open(const std::string& path,
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
     // Fresh file: header only.
+    MutexLock lock(w->mu_);
     w->fd_ = CreateFresh(path, error, &w->bytes_);
     if (w->fd_ < 0) return nullptr;
     return w;
@@ -171,6 +172,7 @@ std::unique_ptr<HistoryWriter> HistoryWriter::Open(const std::string& path,
     ::close(fd);
     return nullptr;
   }
+  MutexLock lock(w->mu_);
   w->fd_ = fd;
   w->bytes_ = replay->valid_bytes;
   return w;
@@ -180,18 +182,28 @@ HistoryWriter::~HistoryWriter() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+bool HistoryWriter::ok() const {
+  MutexLock lock(mu_);
+  return ok_;
+}
+
+std::string HistoryWriter::last_error() const {
+  MutexLock lock(mu_);
+  return last_error_;
+}
+
 uint64_t HistoryWriter::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 int64_t HistoryWriter::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 
 int64_t HistoryWriter::rotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rotations_;
 }
 
@@ -227,7 +239,7 @@ bool HistoryWriter::WriteFrameLocked(const std::string& payload,
 }
 
 bool HistoryWriter::Append(const HistoryRecord& rec, std::string* error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!ok_) {
     if (error != nullptr) *error = last_error_;
     return false;
@@ -293,17 +305,17 @@ std::optional<HistoryReplay> ReadHistory(const std::string& path,
 }
 
 namespace {
-std::mutex g_history_mu;
-std::shared_ptr<HistoryWriter> g_history;
+Mutex g_history_mu;
+std::shared_ptr<HistoryWriter> g_history UTK_GUARDED_BY(g_history_mu);
 }  // namespace
 
 void SetQueryHistory(std::shared_ptr<HistoryWriter> writer) {
-  std::lock_guard<std::mutex> lock(g_history_mu);
+  MutexLock lock(g_history_mu);
   g_history = std::move(writer);
 }
 
 std::shared_ptr<HistoryWriter> QueryHistory() {
-  std::lock_guard<std::mutex> lock(g_history_mu);
+  MutexLock lock(g_history_mu);
   return g_history;
 }
 

@@ -31,11 +31,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace utk {
 namespace obs {
@@ -86,8 +87,12 @@ class HistoryWriter {
   /// throwing through a query path.
   bool Append(const HistoryRecord& rec, std::string* error = nullptr);
 
-  bool ok() const { return ok_; }
-  const std::string& last_error() const { return last_error_; }
+  /// Both take mu_: ok_/last_error_ mutate under the lock in Append, so an
+  /// unlocked read (the pre-annotation code) raced it — last_error returns
+  /// by value for the same reason (a reference would dangle into guarded
+  /// state).
+  bool ok() const;
+  std::string last_error() const;
   uint64_t bytes() const;
   int64_t records() const;     ///< rows appended through this writer
   int64_t rotations() const;   ///< times the file rolled to <path>.1
@@ -95,18 +100,19 @@ class HistoryWriter {
 
  private:
   HistoryWriter() = default;
-  bool WriteFrameLocked(const std::string& payload, std::string* error);
-  bool RotateLocked(std::string* error);
+  bool WriteFrameLocked(const std::string& payload, std::string* error)
+      UTK_REQUIRES(mu_);
+  bool RotateLocked(std::string* error) UTK_REQUIRES(mu_);
 
   std::string path_;
   uint64_t max_bytes_ = kHistoryDefaultMaxBytes;
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  uint64_t bytes_ = 0;
-  int64_t records_ = 0;
-  int64_t rotations_ = 0;
-  bool ok_ = true;
-  std::string last_error_;
+  mutable Mutex mu_;
+  int fd_ UTK_GUARDED_BY(mu_) = -1;
+  uint64_t bytes_ UTK_GUARDED_BY(mu_) = 0;
+  int64_t records_ UTK_GUARDED_BY(mu_) = 0;
+  int64_t rotations_ UTK_GUARDED_BY(mu_) = 0;
+  bool ok_ UTK_GUARDED_BY(mu_) = true;
+  std::string last_error_ UTK_GUARDED_BY(mu_);
 };
 
 /// Everything ReadHistory recovered from a file.

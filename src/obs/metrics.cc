@@ -93,26 +93,28 @@ void Histogram::Zero() {
 }
 
 MetricRegistry& MetricRegistry::Global() {
+  // utk-lint: allow(naked-new) intentional leak: counters registered by
+  // other statics must stay valid during static destruction.
   static MetricRegistry* g = new MetricRegistry();  // never destroyed
   return *g;
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot.reset(new Counter());
   return *slot;
 }
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot.reset(new Gauge());
   return *slot;
 }
 
 Histogram& MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot.reset(new Histogram());
   return *slot;
@@ -136,7 +138,7 @@ std::string BucketLabel(int b) {
 }  // namespace
 
 std::string MetricRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << "# TYPE " << name << " counter\n";
@@ -176,7 +178,7 @@ std::string MetricRegistry::PrometheusText() const {
 }
 
 std::string MetricRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -208,7 +210,7 @@ std::string MetricRegistry::JsonSnapshot() const {
 }
 
 std::string MetricRegistry::PrettyText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   if (!counters_.empty()) {
     out << "counters:\n";
@@ -244,7 +246,7 @@ std::string MetricRegistry::PrettyText() const {
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Zero();
   for (auto& [name, g] : gauges_) g->Zero();
   for (auto& [name, h] : histograms_) h->Zero();

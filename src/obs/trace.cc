@@ -4,9 +4,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
+#include "common/annotations.h"
 #include "common/stats.h"
 
 namespace utk {
@@ -23,6 +23,8 @@ void SetTracingEnabled(bool on) {
 int64_t NowMicros() {
   // One process-wide clock for every traced and reported time (never
   // destroyed: spans may close during static teardown).
+  // utk-lint: allow(naked-new) intentional leak: the epoch timer must
+  // outlive every static destructor that might still emit a span.
   static const Timer* epoch = new Timer();
   return static_cast<int64_t>(epoch->ElapsedMs() * 1000.0);
 }
@@ -34,18 +36,20 @@ namespace {
 constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
 
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  int64_t dropped = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events UTK_GUARDED_BY(mu);
+  int64_t dropped UTK_GUARDED_BY(mu) = 0;
 };
 
 struct Collector {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_tid = 0;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers UTK_GUARDED_BY(mu);
+  uint32_t next_tid UTK_GUARDED_BY(mu) = 0;
 };
 
 Collector& GlobalCollector() {
+  // utk-lint: allow(naked-new) intentional leak: thread buffers flush
+  // through the collector during static destruction.
   static Collector* c = new Collector();  // never destroyed
   return *c;
 }
@@ -66,7 +70,7 @@ struct ThreadState {
 
   ThreadState() : buffer(std::make_shared<ThreadBuffer>()) {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     tid = c.next_tid++;
     c.buffers.push_back(buffer);
   }
@@ -79,13 +83,14 @@ ThreadState& TLS() {
 
 std::atomic<double> g_slow_threshold_ms{-1.0};
 
-std::mutex g_sink_mu;
-std::function<void(const std::string&)> g_slow_sink;  // empty => stderr
+Mutex g_sink_mu;
+std::function<void(const std::string&)> g_slow_sink
+    UTK_GUARDED_BY(g_sink_mu);  // empty => stderr
 
 void EmitSlowLine(const std::string& line) {
   std::function<void(const std::string&)> sink;
   {
-    std::lock_guard<std::mutex> lock(g_sink_mu);
+    MutexLock lock(g_sink_mu);
     sink = g_slow_sink;
   }
   if (sink) {
@@ -111,7 +116,7 @@ void SpanGuard::Close() {
   int depth = --tls.span_depth;
   int64_t dur = end_us - start_us_;
   {
-    std::lock_guard<std::mutex> lock(tls.buffer->mu);
+    MutexLock lock(tls.buffer->mu);
     if (tls.buffer->events.size() < kMaxEventsPerThread) {
       tls.buffer->events.push_back(
           TraceEvent{name_, start_us_, dur, tls.tid, depth, arg_});
@@ -135,14 +140,14 @@ std::string TraceJson() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     buffers = c.buffers;
   }
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     for (const TraceEvent& e : buf->events) {
       if (!first) out << ",";
       first = false;
@@ -161,11 +166,11 @@ void ClearTrace() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     buffers = c.buffers;
   }
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     buf->events.clear();
     buf->dropped = 0;
   }
@@ -175,12 +180,12 @@ size_t TraceEventCount() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     buffers = c.buffers;
   }
   size_t n = 0;
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     n += buf->events.size();
   }
   return n;
@@ -190,12 +195,12 @@ int64_t TraceDroppedCount() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     buffers = c.buffers;
   }
   int64_t n = 0;
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     n += buf->dropped;
   }
   return n;
@@ -205,12 +210,12 @@ std::vector<TraceEvent> TraceSnapshot() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Collector& c = GlobalCollector();
-    std::lock_guard<std::mutex> lock(c.mu);
+    MutexLock lock(c.mu);
     buffers = c.buffers;
   }
   std::vector<TraceEvent> all;
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     all.insert(all.end(), buf->events.begin(), buf->events.end());
   }
   return all;
@@ -225,7 +230,7 @@ double SlowQueryThresholdMs() {
 }
 
 void SetSlowQuerySink(std::function<void(const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   g_slow_sink = std::move(sink);
 }
 

@@ -170,7 +170,7 @@ bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
   Shard* fallback_shard = nullptr;
   std::string fallback_key;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
       if (fallback_shard != nullptr && !it->HasCells()) continue;
       if (!CanServe(*it, spec, planned, epoch)) continue;
@@ -190,7 +190,7 @@ bool ResultCache::FindDonor(const QuerySpec& spec, Algorithm planned,
   if (fallback_shard == nullptr) return false;
   // The fallback may have been evicted while other shards were scanned; a
   // vanished fallback is simply a miss.
-  std::lock_guard<std::mutex> lock(fallback_shard->mu);
+  MutexLock lock(fallback_shard->mu);
   auto it = fallback_shard->index.find(fallback_key);
   if (it == fallback_shard->index.end()) return false;
   out->outcome = CacheOutcome::kSemanticHit;
@@ -208,7 +208,7 @@ CacheLookup ResultCache::Lookup(const QuerySpec& spec, Algorithm planned,
   const std::string key = CanonicalFingerprint(spec, planned, epoch);
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       out.outcome = CacheOutcome::kExactHit;
@@ -254,7 +254,7 @@ int64_t ResultCache::Admit(const QuerySpec& spec, Algorithm planned,
   Shard& shard = ShardFor(entry.key);
   int64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(entry.key);
     if (it != shard.index.end()) {
       shard.bytes -= it->second->bytes;
@@ -299,7 +299,7 @@ int64_t ResultCache::ApplyInvalidation(uint64_t from_epoch, uint64_t to_epoch,
   }
   int64_t dropped = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->epoch == to_epoch) {  // already answers the new dataset
         ++it;
@@ -352,7 +352,7 @@ CacheCounters ResultCache::Counters() const {
   c.invalidated = invalidated_.load(std::memory_order_relaxed);
   c.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     c.entries += static_cast<int64_t>(shard->lru.size());
     c.bytes += shard->bytes;
   }
@@ -361,7 +361,7 @@ CacheCounters ResultCache::Counters() const {
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;

@@ -35,12 +35,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/query.h"
+#include "common/annotations.h"
 
 namespace utk {
 
@@ -180,10 +180,12 @@ class ResultCache {
     }
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    int64_t bytes = 0;
+    Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru UTK_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        UTK_GUARDED_BY(mu);
+    int64_t bytes UTK_GUARDED_BY(mu) = 0;
   };
 
   /// Shard choice hashes the key *without* its epoch suffix, so re-tagging

@@ -120,13 +120,19 @@ std::unique_ptr<Catalog> Catalog::Create(const std::string& dir, Dataset data,
   cat->dir_ = dir;
   cat->opt_ = opt;
   cat->engine_ = std::make_shared<LiveEngine>(std::move(data), opt.live);
-  cat->seqno_ = 1;
-  cat->segment_file_ = FileName("seg", 1, "seg");
-  cat->wal_file_ = FileName("wal", 1, "wal");
+  {
+    MutexLock lock(cat->cat_mu_);
+    cat->seqno_ = 1;
+    cat->segment_file_ = FileName("seg", 1, "seg");
+    cat->wal_file_ = FileName("wal", 1, "wal");
+  }
 
   std::string why;
   bool ok = true;
   cat->engine_->WithSnapshot([&](const CatalogView& view) {
+    // Engine (shared) lock held via WithSnapshot, then cat_mu_ — the
+    // documented order.
+    MutexLock lock(cat->cat_mu_);
     if (auto err = WriteSegment(dir + "/" + cat->segment_file_, view.data,
                                 view.alive, view.tree, view.epoch)) {
       why = *err;
@@ -178,10 +184,13 @@ std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
   std::unique_ptr<Catalog> cat(new Catalog());
   cat->dir_ = dir;
   cat->opt_ = opt;
-  cat->seqno_ = manifest->seqno;
-  cat->segment_file_ = manifest->segment_file;
-  cat->wal_file_ = manifest->wal_file;
-  cat->tail_dropped_bytes_ = replay->dropped_bytes;
+  {
+    MutexLock lock(cat->cat_mu_);
+    cat->seqno_ = manifest->seqno;
+    cat->segment_file_ = manifest->segment_file;
+    cat->wal_file_ = manifest->wal_file;
+    cat->tail_dropped_bytes_ = replay->dropped_bytes;
+  }
 
   cat->engine_ = std::make_shared<LiveEngine>(
       seg->MaterializeAll(), seg->AliveVector(), seg->Tree(), seg->epoch(),
@@ -190,6 +199,9 @@ std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
   // Replay: each committed batch goes back through the exact ApplyBatch
   // path that produced it. Any skipped op or epoch drift means the WAL and
   // segment disagree — refuse rather than serve a diverged catalog.
+  // Counters accumulate locally: ApplyBatch takes the engine lock, which
+  // must never be acquired while cat_mu_ is held (lock order).
+  int64_t replayed_batches = 0, replayed_ops = 0;
   {
     UTK_SPAN_VAL("catalog.replay",
                  static_cast<int64_t>(replay->batches.size()));
@@ -199,8 +211,8 @@ std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
         return fail(wal_path + ": replay diverged (batch applied " +
                     std::to_string(applied) + " of " +
                     std::to_string(batch.size()) + " ops)");
-      cat->replayed_ops_ += applied;
-      ++cat->replayed_batches_;
+      replayed_ops += applied;
+      ++replayed_batches;
     }
   }
   if (cat->engine_->epoch() != replay->last_epoch)
@@ -208,9 +220,15 @@ std::unique_ptr<Catalog> Catalog::Open(const std::string& dir,
                 std::to_string(cat->engine_->epoch()) + ", WAL recorded " +
                 std::to_string(replay->last_epoch));
 
-  cat->wal_ = WalWriter::OpenForAppend(wal_path, replay->valid_bytes,
-                                       opt.fsync, &why);
-  if (cat->wal_ == nullptr) return fail(why);
+  auto wal = WalWriter::OpenForAppend(wal_path, replay->valid_bytes,
+                                      opt.fsync, &why);
+  if (wal == nullptr) return fail(why);
+  {
+    MutexLock lock(cat->cat_mu_);
+    cat->replayed_batches_ = replayed_batches;
+    cat->replayed_ops_ = replayed_ops;
+    cat->wal_ = std::move(wal);
+  }
   cat->engine_->AttachLog(cat.get());
   return cat;
 }
@@ -221,7 +239,7 @@ Catalog::~Catalog() {
 
 void Catalog::OnCommit(std::span<const UpdateOp> ops,
                        const CatalogView& view) {
-  std::lock_guard<std::mutex> lock(cat_mu_);
+  MutexLock lock(cat_mu_);
   std::string why;
   if (!wal_->Append(ops, view.epoch, &why)) {
     if (!io_error_.has_value()) io_error_ = why;
@@ -277,14 +295,14 @@ bool Catalog::CompactFromView(const CatalogView& view, std::string* error) {
 bool Catalog::Compact(std::string* error) {
   bool ok = true;
   engine_->WithSnapshot([&](const CatalogView& view) {
-    std::lock_guard<std::mutex> lock(cat_mu_);
+    MutexLock lock(cat_mu_);
     ok = CompactFromView(view, error);
   });
   return ok;
 }
 
 std::optional<std::string> Catalog::io_error() const {
-  std::lock_guard<std::mutex> lock(cat_mu_);
+  MutexLock lock(cat_mu_);
   return io_error_;
 }
 
@@ -294,7 +312,7 @@ CatalogStats Catalog::stats() const {
     s.epoch = view.epoch;
     s.rows = static_cast<int64_t>(view.data.size());
     for (char a : view.alive) s.live += a ? 1 : 0;
-    std::lock_guard<std::mutex> lock(cat_mu_);
+    MutexLock lock(cat_mu_);
     s.seqno = seqno_;
     s.segment_file = segment_file_;
     s.wal_file = wal_file_;

@@ -31,11 +31,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 
+#include "common/annotations.h"
 #include "live/live_engine.h"
 #include "storage/wal.h"
 
@@ -117,8 +117,9 @@ class Catalog final : public UpdateLog {
  private:
   Catalog() = default;
   /// Writes segment seqno+1 + fresh WAL from `view`, swaps the manifest,
-  /// retires the old pair. Caller holds the engine lock; takes cat_mu_.
-  bool CompactFromView(const CatalogView& view, std::string* error);
+  /// retires the old pair. Caller holds the engine lock and cat_mu_.
+  bool CompactFromView(const CatalogView& view, std::string* error)
+      UTK_REQUIRES(cat_mu_);
 
   std::string dir_;
   CatalogOptions opt_;
@@ -126,15 +127,18 @@ class Catalog final : public UpdateLog {
 
   /// Guards everything below. Lock order: engine lock (via commit hook or
   /// WithSnapshot) strictly before cat_mu_ — never acquire an engine lock
-  /// while holding cat_mu_.
-  mutable std::mutex cat_mu_;
-  std::unique_ptr<WalWriter> wal_;
-  uint64_t seqno_ = 0;
-  std::string segment_file_, wal_file_;
-  int64_t replayed_batches_ = 0, replayed_ops_ = 0;
-  uint64_t tail_dropped_bytes_ = 0;
-  int64_t compactions_ = 0;
-  std::optional<std::string> io_error_;
+  /// while holding cat_mu_ (the annotations machine-check the cat_mu_ side;
+  /// the cross-class half lives in the fixture + DESIGN.md §15).
+  mutable Mutex cat_mu_;
+  std::unique_ptr<WalWriter> wal_ UTK_GUARDED_BY(cat_mu_);
+  uint64_t seqno_ UTK_GUARDED_BY(cat_mu_) = 0;
+  std::string segment_file_ UTK_GUARDED_BY(cat_mu_);
+  std::string wal_file_ UTK_GUARDED_BY(cat_mu_);
+  int64_t replayed_batches_ UTK_GUARDED_BY(cat_mu_) = 0;
+  int64_t replayed_ops_ UTK_GUARDED_BY(cat_mu_) = 0;
+  uint64_t tail_dropped_bytes_ UTK_GUARDED_BY(cat_mu_) = 0;
+  int64_t compactions_ UTK_GUARDED_BY(cat_mu_) = 0;
+  std::optional<std::string> io_error_ UTK_GUARDED_BY(cat_mu_);
 };
 
 }  // namespace utk

@@ -40,7 +40,10 @@ std::unique_ptr<MappedEngine> MappedEngine::Open(const std::string& path,
   const int32_t n = seg->rows();
   e->data_.resize(n);
   for (int32_t i = 0; i < n; ++i) e->data_[i].id = i;
-  e->row_done_.assign(n, 0);
+  {
+    MutexLock lock(e->mat_mu_);
+    e->row_done_.assign(n, 0);
+  }
   e->seg_ = std::move(seg);
   // Row 0 anchors DataDim(data_) for the gather constructors downstream;
   // every other row stays empty until a query proves it needs it.
@@ -54,7 +57,7 @@ std::unique_ptr<MappedEngine> MappedEngine::Open(const std::string& path,
 void MappedEngine::EnsureRows(std::span<const int32_t> ids) const {
   if (all_done_.load(std::memory_order_acquire)) return;
   UTK_SPAN_VAL("mapped.materialize", static_cast<int64_t>(ids.size()));
-  std::lock_guard<std::mutex> lock(mat_mu_);
+  MutexLock lock(mat_mu_);
   int64_t gathered = 0;
   const int d = seg_->dim();
   for (int32_t id : ids) {
@@ -74,7 +77,7 @@ void MappedEngine::EnsureRows(std::span<const int32_t> ids) const {
 void MappedEngine::EnsureAll() const {
   if (all_done_.load(std::memory_order_acquire)) return;
   UTK_SPAN_VAL("mapped.materialize", seg_->rows());
-  std::lock_guard<std::mutex> lock(mat_mu_);
+  MutexLock lock(mat_mu_);
   if (all_done_.load(std::memory_order_relaxed)) return;
   int64_t gathered = 0;
   const int d = seg_->dim();
@@ -170,7 +173,7 @@ QueryResult MappedEngine::RunBandPipeline(const QuerySpec& spec,
 }
 
 std::shared_ptr<const Engine> MappedEngine::EnsureCompact() const {
-  std::lock_guard<std::mutex> lock(compact_mu_);
+  MutexLock lock(compact_mu_);
   if (compact_ == nullptr) {
     EnsureAll();
     Dataset compact;
@@ -193,7 +196,7 @@ QueryResult MappedEngine::RunViaCompact(const QuerySpec& spec) const {
   std::shared_ptr<const Engine> compact = EnsureCompact();
   std::vector<int32_t> stable_ids;
   {
-    std::lock_guard<std::mutex> lock(compact_mu_);
+    MutexLock lock(compact_mu_);
     stable_ids = compact_ids_;
   }
   QueryResult r = compact->Run(spec);

@@ -31,13 +31,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "common/annotations.h"
 #include "api/query_engine.h"
 #include "exec/column_store.h"
 #include "index/rtree.h"
@@ -99,15 +99,20 @@ class MappedEngine final : public QueryEngine {
   /// Cost model captured at Open (DefaultCostModel()); immutable after.
   std::shared_ptr<const CostModel> model_ = DefaultCostModel();
 
-  mutable std::mutex mat_mu_;
-  mutable Dataset data_;               ///< rows gathered on demand
-  mutable std::vector<char> row_done_;
+  mutable Mutex mat_mu_;
+  /// Rows gathered on demand. Deliberately NOT guarded_by(mat_mu_): a row
+  /// is written exactly once, under mat_mu_, before row_done_[id] (or
+  /// all_done_) publishes it — afterwards the hot pipeline reads it
+  /// lock-free. The analysis can't express write-once publication; the
+  /// guarded row_done_ bitmap is the machine-checked half of the protocol.
+  mutable Dataset data_;
+  mutable std::vector<char> row_done_ UTK_GUARDED_BY(mat_mu_);
   mutable std::atomic<bool> all_done_{false};
   mutable std::atomic<int64_t> rows_materialized_{0};
 
-  mutable std::mutex compact_mu_;
-  mutable std::shared_ptr<const Engine> compact_;
-  mutable std::vector<int32_t> compact_ids_;
+  mutable Mutex compact_mu_;
+  mutable std::shared_ptr<const Engine> compact_ UTK_GUARDED_BY(compact_mu_);
+  mutable std::vector<int32_t> compact_ids_ UTK_GUARDED_BY(compact_mu_);
 };
 
 }  // namespace utk

@@ -1,0 +1,4 @@
+// Fixture: timing through the one clock — no finding. The word "chrono"
+// in this comment must not trip the rule either: std::chrono, <chrono>.
+#include "common/stats.h"
+double NowMs(const utk::Timer& t) { return t.ElapsedMs(); }

@@ -1,0 +1,5 @@
+// Fixture: a suppressed chrono use (the test-sleep pattern) — clean.
+void Nap() {
+  // utk-lint: allow(clock) test sleep; wall time must actually advance
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}

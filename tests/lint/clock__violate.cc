@@ -1,0 +1,5 @@
+// Fixture: raw std::chrono outside common/stats.h.
+#include <chrono>
+long NowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+// Fixture: the same predicate through the Eps helpers — no finding.
+bool BelowBoundary(double cross) { return EpsLe(cross, 0.0); }
+// Integer comparisons and shifts are out of the rule's reach.
+int Half(int n) { return n >= 2 ? n >> 1 : n; }

@@ -1,0 +1,5 @@
+// Fixture: a raw comparison carrying a suppression with a reason — clean.
+bool NegativeRhs(double b) {
+  // utk-lint: allow(eps-compare) exact sign split, negation must be exact
+  return b < 0.0;
+}

@@ -1,0 +1,4 @@
+// Fixture: raw float ordering comparison in a geometry-scoped file.
+// utk_lint --self-check scans this as src/geometry/fixture.cc and expects
+// an eps-compare finding.
+bool BelowBoundary(double cross) { return cross <= kEps; }

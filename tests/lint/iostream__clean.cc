@@ -1,0 +1,5 @@
+// Fixture: library code reporting through its return value — no finding.
+#include <string>
+std::string Report(int n) { return std::to_string(n); }
+// std::cout named in a comment or string stays invisible to the rule.
+const char* kDoc = "never use std::cout here";

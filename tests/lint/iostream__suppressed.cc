@@ -1,0 +1,5 @@
+// Fixture: a fatal-path stderr line kept on purpose — suppressed, clean.
+void Die(const char* what) {
+  // utk-lint: allow(iostream) fatal path: obs may be torn down already
+  std::cerr << what << "\n";
+}

@@ -1,0 +1,3 @@
+// Fixture: terminal output from library code in src/.
+#include <iostream>
+void Report(int n) { std::cout << n << "\n"; }

@@ -1,0 +1,5 @@
+// Fixture: allocations owned at the allocation site — no finding.
+#include <memory>
+std::unique_ptr<int> Boxed() { return std::unique_ptr<int>(new int(7)); }
+void Reset(std::unique_ptr<int>& p) { p.reset(new int(8)); }
+// "new" in prose (a new approach) and in strings: "new int" — both fine.

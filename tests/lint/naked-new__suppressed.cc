@@ -1,0 +1,7 @@
+// Fixture: an intentional-leak singleton with a stated reason — clean.
+struct Registry { int x; };
+Registry* Global() {
+  // utk-lint: allow(naked-new) intentional leak: must outlive static dtors
+  static Registry* g = new Registry();
+  return g;
+}

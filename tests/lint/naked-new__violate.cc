@@ -1,0 +1,3 @@
+// Fixture: unowned allocations in src/.
+int* Leak() { return new int(7); }
+void* RawBuf(unsigned n) { return malloc(n); }

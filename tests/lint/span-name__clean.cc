@@ -1,0 +1,8 @@
+// Fixture: conforming span names; a bad name inside a string that is NOT a
+// span argument is none of the rule's business.
+void Run() {
+  UTK_SPAN("engine.run");
+  UTK_SPAN_VAL("cache.lookup", 1);
+  const char* not_a_span = "NotASpan";
+  (void)not_a_span;
+}

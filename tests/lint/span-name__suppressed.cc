@@ -1,0 +1,5 @@
+// Fixture: a legacy span name kept deliberately — suppressed, clean.
+void Run() {
+  // utk-lint: allow(span-name) legacy trace consumers key on this name
+  UTK_SPAN("LegacyTopK");
+}

@@ -1,0 +1,5 @@
+// Fixture: span names off the subsystem.verb scheme.
+void Run() {
+  UTK_SPAN("RunQuery");        // no dot, uppercase
+  UTK_SPAN_VAL("engine.Run", 1);  // uppercase verb
+}

@@ -1,0 +1,62 @@
+// NEGATIVE-COMPILE fixture — this file must FAIL to build under
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+// and the CI static-analysis job asserts that it does. It is never part of
+// the normal build (no CMake target compiles it); it exists to prove the
+// annotations in common/annotations.h are actually load-bearing: if the
+// macro gate or the CI flags ever rot into no-ops, compiling this file
+// starts succeeding and the job turns red.
+//
+// Two violations, covering both halves of the analysis:
+//   1. guarded_by: reading a UTK_GUARDED_BY member without holding its mutex.
+//   2. lock order: acquiring mutexes against a declared UTK_ACQUIRED_BEFORE
+//      edge (the LiveEngine/Catalog discipline, in miniature; needs -beta).
+
+#include "common/annotations.h"
+
+namespace utk {
+namespace {
+
+class Guarded {
+ public:
+  // Violation 1: `count_` is guarded, but ReadUnlocked takes no lock.
+  int ReadUnlocked() const { return count_; }
+
+  int ReadLocked() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ UTK_GUARDED_BY(mu_) = 0;
+};
+
+class Ordered {
+ public:
+  // Violation 2: declared order is outer_ before inner_, but AcquireBackward
+  // takes inner_ first.
+  void AcquireBackward() {
+    MutexLock inner(inner_);
+    MutexLock outer(outer_);
+  }
+
+  void AcquireForward() {
+    MutexLock outer(outer_);
+    MutexLock inner(inner_);
+  }
+
+ private:
+  Mutex outer_ UTK_ACQUIRED_BEFORE(inner_);
+  Mutex inner_;
+};
+
+}  // namespace
+}  // namespace utk
+
+int main() {
+  utk::Guarded g;
+  utk::Ordered o;
+  o.AcquireForward();
+  o.AcquireBackward();
+  return g.ReadUnlocked() + g.ReadLocked();
+}

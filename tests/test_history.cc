@@ -7,6 +7,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
@@ -266,6 +267,28 @@ TEST(History, OnlyTheOutermostScopeRecords) {
     outer.Record(spec, ok_result, 100, 2);  // outermost: the one row
   }
   EXPECT_EQ(w->records(), 1);
+}
+
+// Regression: ok()/last_error() used to read writer state without the
+// writer's mutex, racing concurrent Appends (caught by the thread-safety
+// annotation pass; TSan sees the pre-fix data race through this test).
+TEST(History, StatusReadsAreSafeAgainstConcurrentAppends) {
+  const std::string path = Path("status_race");
+  auto w = obs::HistoryWriter::Open(path);
+  ASSERT_NE(w, nullptr);
+  std::thread appender([&] {
+    for (int i = 0; i < 200; ++i) w->Append(SampleRecord(i));
+  });
+  bool ok = true;
+  std::string err;
+  for (int i = 0; i < 200; ++i) {
+    ok = w->ok() && ok;
+    err = w->last_error();
+  }
+  appender.join();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(w->records(), 200);
 }
 
 }  // namespace

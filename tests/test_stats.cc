@@ -222,6 +222,8 @@ TEST(Stats, SerializationCoversEveryMember) {
 
 TEST(Stats, TimerMeasuresElapsed) {
   Timer t;
+  // utk-lint: allow(clock) the test sleeps to make wall time advance; it
+  // is validating the stats clock, so it cannot also depend on it.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   const double ms = t.ElapsedMs();
   EXPECT_GE(ms, 15.0);
